@@ -1,0 +1,124 @@
+"""Shared machinery for the per-table benchmark harness.
+
+Each ``bench_tableNN_*.py`` regenerates one table of the paper at a
+reduced, laptop-friendly scale and prints the measured rows next to the
+paper's published rows.  Scale is controlled by ``REPRO_BENCH_JOBS``
+(jobs per workload, default 1000); the full paper sizes (Table 1) run by
+setting it to 0.
+
+Absolute numbers are not expected to match — the traces are synthetic
+stand-ins — but the shape assertions in each bench (and the side-by-side
+print-out) verify the paper's qualitative findings.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.core.experiment import (
+    SchedulingCell,
+    WaitTimeCell,
+    run_scheduling_table,
+    run_wait_time_table,
+)
+from repro.core.paper_reference import (
+    SCHEDULING_TABLES,
+    WAIT_TIME_TABLES,
+)
+from repro.core.tables import format_table
+from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
+from repro.workloads.job import Trace
+
+__all__ = [
+    "bench_jobs",
+    "bench_trace",
+    "bench_traces",
+    "wait_time_rows",
+    "scheduling_rows",
+    "print_wait_table",
+    "print_scheduling_table",
+    "WORKLOAD_ORDER",
+]
+
+WORKLOAD_ORDER = ("ANL", "CTC", "SDSC95", "SDSC96")
+
+
+def bench_jobs() -> int | None:
+    """Jobs per workload for benches; ``None`` means full paper size."""
+    raw = int(os.environ.get("REPRO_BENCH_JOBS", "1000"))
+    return None if raw <= 0 else raw
+
+
+@lru_cache(maxsize=None)
+def bench_trace(name: str) -> Trace:
+    return load_paper_workload(name, n_jobs=bench_jobs())
+
+
+def bench_traces() -> list[Trace]:
+    return [bench_trace(name) for name in WORKLOAD_ORDER]
+
+
+def wait_time_rows(predictor: str, algorithms: Sequence[str]) -> list[WaitTimeCell]:
+    return run_wait_time_table(
+        predictor, workloads=bench_traces(), algorithms=algorithms
+    )
+
+
+def scheduling_rows(predictor: str) -> list[SchedulingCell]:
+    return run_scheduling_table(predictor, workloads=bench_traces())
+
+
+def print_wait_table(predictor: str, cells: Iterable[WaitTimeCell]) -> None:
+    table_no, ref = WAIT_TIME_TABLES[predictor]
+    rows = []
+    for c in cells:
+        r = ref.get((c.workload, c.algorithm))
+        rows.append(
+            {
+                "Workload": c.workload,
+                "Algorithm": c.algorithm,
+                "Error (min)": round(c.mean_error_minutes, 2),
+                "% of wait": round(c.percent_of_mean_wait),
+                "Paper err": r.mean_error_minutes if r else "",
+                "Paper %": r.percent_of_mean_wait if r else "",
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Table {table_no} — wait-time prediction with the "
+                f"{predictor!r} run-time predictor (measured vs. paper)"
+            ),
+        )
+    )
+
+
+def print_scheduling_table(predictor: str, cells: Iterable[SchedulingCell]) -> None:
+    table_no, ref = SCHEDULING_TABLES[predictor]
+    rows = []
+    for c in cells:
+        r = ref.get((c.workload, c.algorithm))
+        rows.append(
+            {
+                "Workload": c.workload,
+                "Algorithm": c.algorithm,
+                "Util %": round(c.utilization_percent, 2),
+                "Wait (min)": round(c.mean_wait_minutes, 2),
+                "Paper util": r.utilization_percent if r else "",
+                "Paper wait": r.mean_wait_minutes if r else "",
+            }
+        )
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Table {table_no} — scheduling performance with the "
+                f"{predictor!r} run-time predictor (measured vs. paper)"
+            ),
+        )
+    )

@@ -1,0 +1,69 @@
+"""Ablation — forward-simulation vs. state-based wait-time prediction.
+
+The paper's §5 proposes predicting waits from *similar past scheduler
+states* instead of forward simulation, hoping to beat LWF's large
+built-in error.  This bench runs both techniques side by side on the
+high-load workload under LWF and backfill.
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import make_policy, make_predictor
+from repro.core.tables import format_table
+from repro.predictors.base import PointEstimator
+from repro.scheduler.simulator import Simulator
+from repro.waitpred.evaluation import evaluate_wait_predictions
+from repro.waitpred.predictor import WaitTimePredictor
+from repro.waitpred.statebased import StateBasedWaitPredictor
+
+from _common import bench_trace
+
+
+def _run():
+    trace = bench_trace("ANL")
+    rows = []
+    for policy_name in ("lwf", "backfill"):
+        policy = make_policy(policy_name)
+        scheduler_estimator = PointEstimator(make_predictor("max", trace))
+        sim = Simulator(policy, scheduler_estimator, trace.total_nodes)
+        forward = WaitTimePredictor(
+            policy,
+            make_predictor("smith", trace),
+            scheduler_estimator=scheduler_estimator,
+        )
+        state = StateBasedWaitPredictor(
+            PointEstimator(make_predictor("smith", trace))
+        )
+        sim.add_observer(forward)
+        sim.add_observer(state)
+        result = sim.run(trace)
+        for label, obs in (("forward-sim", forward), ("state-based", state)):
+            report = evaluate_wait_predictions(result, obs.predicted_waits)
+            rows.append(
+                {
+                    "Algorithm": policy.name,
+                    "Technique": label,
+                    "Error (min)": round(report.mean_abs_error_minutes, 2),
+                    "% of wait": round(report.percent_of_mean_wait),
+                }
+            )
+    return rows
+
+
+def test_ablation_state_based_wait_prediction(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows, title="Wait-prediction technique ablation (ANL, smith run times)"
+        )
+    )
+    # Both techniques must produce finite, sane errors; the state-based
+    # method must at least be in the same regime as forward simulation
+    # (the paper only *hopes* it is better — no claim to assert).
+    by = {(r["Algorithm"], r["Technique"]): r for r in rows}
+    for algo in ("LWF", "Backfill"):
+        fwd = by[(algo, "forward-sim")]["Error (min)"]
+        stb = by[(algo, "state-based")]["Error (min)"]
+        assert fwd >= 0 and stb >= 0
+        assert stb < 10 * max(fwd, 1.0)

@@ -1,0 +1,90 @@
+"""Ablation — which template ingredients carry the Smith predictor.
+
+DESIGN.md calls out four design choices of the template machinery:
+identity characteristics, node-range refinement, relative (ratio to the
+user's maximum) data, and bounded history.  This bench knocks each out
+and scores the replay error, plus a warm-start variant quantifying the
+§2.1 ramp-up remark.
+"""
+
+from __future__ import annotations
+
+from repro.core.tables import format_table
+from repro.predictors.base import warm_start
+from repro.predictors.replay import replay_prediction_error
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.templates import Template, default_templates
+from repro.workloads.transform import head
+
+from _common import bench_trace
+
+
+def _variants(trace):
+    has_max = any(j.max_run_time is not None for j in trace)
+    full = default_templates(trace.available_fields, has_max_run_time=has_max)
+    return {
+        "full default set": full,
+        "global mean only": [Template()],
+        "no node ranges": [
+            t for t in full if t.node_range_size is None
+        ],
+        "no relative data": [t for t in full if not t.relative],
+        "single (u) template": [Template(characteristics=("u",))],
+    }
+
+
+def _run():
+    trace = bench_trace("ANL")
+    rows = []
+    scores = {}
+    for label, templates in _variants(trace).items():
+        report = replay_prediction_error(trace, SmithPredictor(templates))
+        scores[label] = report.mean_abs_error
+        rows.append(
+            {
+                "Variant": label,
+                "Templates": len(templates),
+                "Error (min)": round(report.mean_abs_error_minutes, 2),
+                "% predicted": round(100.0 * report.n_predicted / report.n_jobs),
+            }
+        )
+    # Warm start: train on the first 30%, score the rest.
+    split = max(len(trace) // 3, 1)
+    train = head(trace, split)
+    test = trace.filter(lambda j: j.submit_time > train[len(train) - 1].submit_time)
+    has_max = any(j.max_run_time is not None for j in trace)
+    tpl = default_templates(trace.available_fields, has_max_run_time=has_max)
+    cold = replay_prediction_error(test, SmithPredictor(tpl))
+    warm = replay_prediction_error(
+        test, warm_start(SmithPredictor(tpl), train)
+    )
+    rows.append(
+        {
+            "Variant": "cold start (last 2/3)",
+            "Templates": len(tpl),
+            "Error (min)": round(cold.mean_abs_error_minutes, 2),
+            "% predicted": round(100.0 * cold.n_predicted / cold.n_jobs),
+        }
+    )
+    rows.append(
+        {
+            "Variant": "warm start (last 2/3)",
+            "Templates": len(tpl),
+            "Error (min)": round(warm.mean_abs_error_minutes, 2),
+            "% predicted": round(100.0 * warm.n_predicted / warm.n_jobs),
+        }
+    )
+    return rows, scores, cold, warm
+
+
+def test_ablation_template_ingredients(benchmark):
+    rows, scores, cold, warm = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Smith template ablation (ANL)"))
+    # Identity characteristics are the core signal: the full set must
+    # beat the bare global mean decisively.
+    assert scores["full default set"] < scores["global mean only"]
+    # Warm starting can only help coverage, and it must not hurt error
+    # materially (paper §2.1's training-set remark).
+    assert warm.n_predicted >= cold.n_predicted
+    assert warm.mean_abs_error <= cold.mean_abs_error * 1.10

@@ -1,0 +1,86 @@
+"""Engineering bench — analytic wait-prediction shortcut vs. event loop.
+
+The only benchmark in the suite that measures *time* rather than
+reproducing a table: the FCFS shortcut of :mod:`repro.waitpred.fast`
+must (a) produce identical predictions and (b) be substantially faster
+on a congested queue, since wait-time experiments invoke it once per
+submission.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.scheduler.policies import FCFSPolicy
+from repro.scheduler.simulator import (
+    QueuedJob,
+    RunningJob,
+    SystemSnapshot,
+    forward_simulate,
+)
+from repro.waitpred.fast import fcfs_predicted_start
+from repro.workloads.job import Job
+
+
+def _congested_snapshot(queue_len=150, total_nodes=64):
+    running = tuple(
+        RunningJob(
+            Job(job_id=i, submit_time=0.0, run_time=1.0, nodes=4), start_time=0.0
+        )
+        for i in range(1, 9)
+    )
+    queued = tuple(
+        QueuedJob(
+            Job(
+                job_id=100 + i,
+                submit_time=float(i),
+                run_time=1.0,
+                nodes=1 + (i * 7) % 32,
+            )
+        )
+        for i in range(queue_len)
+    )
+    durations = {rj.job_id: 3600.0 for rj in running}
+    durations.update(
+        {qj.job_id: 300.0 + (qj.job_id % 17) * 120.0 for qj in queued}
+    )
+    target = queued[-1].job_id
+    snap = SystemSnapshot(
+        now=float(queue_len),
+        running=running,
+        queued=queued,
+        total_nodes=total_nodes,
+    )
+    return snap, durations, target
+
+
+def _time(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def test_fastpath_speedup(benchmark):
+    snap, durations, target = _congested_snapshot()
+
+    fast_result, fast_t = _time(
+        lambda: fcfs_predicted_start(snap, durations, target)
+    )
+    slow_result, slow_t = _time(
+        lambda: forward_simulate(snap, FCFSPolicy(), durations, target)
+    )
+    benchmark.pedantic(
+        lambda: fcfs_predicted_start(snap, durations, target),
+        rounds=3,
+        iterations=5,
+    )
+    print(
+        f"\nFCFS wait prediction, 150-deep queue: analytic {fast_t * 1e3:.2f} ms "
+        f"vs event-driven {slow_t * 1e3:.2f} ms ({slow_t / fast_t:.1f}x)"
+    )
+    assert fast_result == slow_result or abs(fast_result - slow_result) < 1e-3
+    # The shortcut must never be a slowdown (timing noise tolerance 20%).
+    assert fast_t < slow_t * 1.2

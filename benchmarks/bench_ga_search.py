@@ -1,0 +1,46 @@
+"""§2.1 — the genetic template search.
+
+The paper's 12 offline searches are a compute budget, not an algorithm;
+this bench runs a reduced-budget search per workload family and checks
+that (a) the discovered template set's replay error improves on the
+first generation's best, and (b) it beats the max-run-time baseline —
+i.e. the search actually finds structure.
+"""
+
+from __future__ import annotations
+
+from repro.core.tables import format_table
+from repro.predictors.ga import GAConfig, search_templates
+from repro.predictors.replay import replay_prediction_error
+from repro.predictors.simple import MaxRuntimePredictor
+from repro.predictors.smith import SmithPredictor
+
+from _common import bench_trace
+
+
+def _run():
+    trace = bench_trace("ANL")
+    cfg = GAConfig(population=12, generations=6, eval_jobs=400, seed=0)
+    templates, history = search_templates(trace, config=cfg)
+    found = replay_prediction_error(trace, SmithPredictor(templates))
+    baseline = replay_prediction_error(trace, MaxRuntimePredictor.from_trace(trace))
+    return templates, history, found, baseline
+
+
+def test_ga_template_search(benchmark):
+    templates, history, found, baseline = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    rows = [{"Template": t.describe()} for t in templates]
+    print()
+    print(format_table(rows, title="GA-discovered template set (ANL)"))
+    print(
+        f"generation best errors (min): "
+        f"{[round(e / 60, 1) for e in history.best_errors]}"
+    )
+    print(
+        f"full-replay error: GA {found.mean_abs_error_minutes:.1f} min "
+        f"vs max-run-time {baseline.mean_abs_error_minutes:.1f} min"
+    )
+    assert history.best_errors[-1] <= history.best_errors[0]
+    assert found.mean_abs_error < baseline.mean_abs_error

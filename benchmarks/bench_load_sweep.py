@@ -1,0 +1,71 @@
+"""Load sweep — where prediction accuracy starts to matter.
+
+The paper's §4 hypothesis: "greater prediction accuracy ... when
+scheduling becomes hard" — tested there with one 2x compression of the
+SDSC traces.  This sweep traces the whole curve: interarrival
+compression factors 1x..3x on SDSC95, backfill scheduling, oracle vs
+Smith vs user maxima.  Expected shape: all predictors tie at low load;
+the max-run-time penalty and the oracle-Smith gap open as load rises.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import run_scheduling_experiment
+from repro.core.tables import format_table
+from repro.workloads.transform import compress_interarrival
+
+from _common import bench_trace
+
+FACTORS = (1.0, 1.5, 2.0, 3.0)
+PREDICTORS = ("actual", "smith", "max")
+
+
+def _run():
+    base = bench_trace("SDSC95")
+    rows = []
+    for factor in FACTORS:
+        trace = compress_interarrival(base, factor) if factor != 1.0 else base
+        for predictor in PREDICTORS:
+            cell, _ = run_scheduling_experiment(trace, "backfill", predictor)
+            rows.append(
+                {
+                    "Compression": f"{factor:g}x",
+                    "Predictor": predictor,
+                    "Util %": round(cell.utilization_percent, 2),
+                    "Mean wait (min)": round(cell.mean_wait_minutes, 2),
+                }
+            )
+    return rows
+
+
+def test_load_sweep(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Offered-load sweep (SDSC95, backfill)"))
+
+    by = {(r["Compression"], r["Predictor"]): r for r in rows}
+    # Utilization rises monotonically with compression (for the oracle).
+    utils = [by[(f"{f:g}x", "actual")]["Util %"] for f in FACTORS]
+    assert all(a < b + 1.0 for a, b in zip(utils, utils[1:]))
+    # Waits explode with load for every predictor.
+    for p in PREDICTORS:
+        lo = by[("1x", p)]["Mean wait (min)"]
+        hi = by[("3x", p)]["Mean wait (min)"]
+        assert hi > lo
+    # Assertions anchor at 2x — the paper's own "hard" point; 3x pushes
+    # the offered load past 1, where the queue never drains and schedule
+    # comparisons become chaotic (printed for the curve, not asserted).
+    # At 2x, history-based predictions are clearly worth having: Smith
+    # beats the max-run-time baseline.
+    assert (
+        by[("2x", "smith")]["Mean wait (min)"]
+        < by[("2x", "max")]["Mean wait (min)"]
+    )
+    # The absolute Smith-vs-max gap grows from light to hard load.
+    gap_lo = abs(
+        by[("1x", "max")]["Mean wait (min)"] - by[("1x", "smith")]["Mean wait (min)"]
+    )
+    gap_hi = abs(
+        by[("2x", "max")]["Mean wait (min)"] - by[("2x", "smith")]["Mean wait (min)"]
+    )
+    assert gap_hi >= gap_lo

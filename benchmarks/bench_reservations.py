@@ -1,0 +1,85 @@
+"""§5 extension — reservation delay vs. run-time prediction accuracy.
+
+The paper's future work combines queue scheduling with reservations for
+co-allocation.  A reservation is only as safe as the scheduler's belief
+about when running/backfilled jobs end, so reservation delay is another
+lens on predictor accuracy: with the oracle, backfill keeps every window
+clear; with loose maxima it over-protects (safe but wasteful); a myopic
+policy (FCFS) tramples windows regardless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.registry import make_policy, make_predictor
+from repro.core.tables import format_table
+from repro.predictors.base import PointEstimator
+from repro.scheduler.reservations import Reservation
+from repro.scheduler.simulator import Simulator
+
+from _common import bench_trace
+
+
+def _reservations(trace, count=6):
+    span = trace.span
+    nodes = max(trace.total_nodes // 4, 1)
+    return [
+        Reservation(
+            res_id=i,
+            start_time=span * (i + 1) / (count + 2),
+            duration=2 * 3600.0,
+            nodes=nodes,
+        )
+        for i in range(count)
+    ]
+
+
+def _run():
+    trace = bench_trace("ANL")
+    rows = []
+    delays = {}
+    for policy_name, predictor_name in (
+        ("fcfs", "actual"),
+        ("backfill", "actual"),
+        ("backfill", "max"),
+        ("backfill", "smith"),
+        ("easy", "actual"),
+    ):
+        sim = Simulator(
+            make_policy(policy_name),
+            PointEstimator(make_predictor(predictor_name, trace)),
+            trace.total_nodes,
+        )
+        sim.add_reservations(_reservations(trace))
+        sim.run(trace)
+        ds = [r.delay / 60.0 for r in sim.reservation_records]
+        delays[(policy_name, predictor_name)] = ds
+        rows.append(
+            {
+                "Policy": policy_name,
+                "Predictor": predictor_name,
+                "Mean delay (min)": round(float(np.mean(ds)), 2),
+                "Max delay (min)": round(float(np.max(ds)), 2),
+                "On time": f"{sum(d < 1.0 for d in ds)}/{len(ds)}",
+            }
+        )
+    return rows, delays
+
+
+def test_reservation_delay_by_predictor(benchmark):
+    rows, delays = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Reservation delay (ANL, 6 windows)"))
+
+    # Reservation-aware backfill with the oracle must beat myopic FCFS.
+    assert np.mean(delays[("backfill", "actual")]) <= np.mean(
+        delays[("fcfs", "actual")]
+    )
+    # All delays are non-negative and every reservation eventually ran.
+    for ds in delays.values():
+        assert len(ds) == 6
+        assert all(d >= -1e-6 for d in ds)
+    # Oracle-driven backfill keeps most windows on time.
+    on_time = sum(d < 1.0 for d in delays[("backfill", "actual")])
+    assert on_time >= 4

@@ -1,0 +1,88 @@
+"""Robustness — the headline shapes on an independent workload model.
+
+The primary benches use our calibrated synthetic traces.  If the
+paper's findings are real, they must also hold on a workload drawn from
+a *different* generative model with the same observed structure.  This
+bench re-checks the core claims on a Feitelson-model workload
+(paper ref. [5]):
+
+- Smith run-time predictions beat user maxima;
+- wait-time prediction error ordering: actual < smith < max;
+- utilization is predictor-invariant; backfill's mean wait benefits
+  from historical predictions.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import (
+    run_runtime_prediction_experiment,
+    run_scheduling_experiment,
+    run_wait_time_experiment,
+)
+from repro.core.tables import format_table
+from repro.workloads.feitelson import feitelson_trace
+
+from _common import bench_jobs
+
+
+def _trace():
+    n = bench_jobs() or 5000
+    return feitelson_trace(
+        n_jobs=n, total_nodes=128, offered_load=0.65, seed=17
+    )
+
+
+def _run():
+    trace = _trace()
+    rt_rows = []
+    for predictor in ("actual", "max", "smith", "gibbons"):
+        c = run_runtime_prediction_experiment(trace, predictor)
+        rt_rows.append(
+            {
+                "Predictor": predictor,
+                "RT error (min)": round(c.mean_error_minutes, 2),
+            }
+        )
+    sched_rows = []
+    for predictor in ("actual", "max", "smith"):
+        cell, _ = run_scheduling_experiment(trace, "backfill", predictor)
+        sched_rows.append(
+            {
+                "Predictor": predictor,
+                "Util %": round(cell.utilization_percent, 2),
+                "Wait (min)": round(cell.mean_wait_minutes, 2),
+            }
+        )
+    wait_rows = []
+    for predictor in ("actual", "smith", "max"):
+        cell, _, _ = run_wait_time_experiment(trace, "backfill", predictor)
+        wait_rows.append(
+            {
+                "Predictor": predictor,
+                "Wait-pred error (min)": round(cell.mean_error_minutes, 2),
+            }
+        )
+    return rt_rows, sched_rows, wait_rows
+
+
+def test_robustness_on_feitelson_model(benchmark):
+    rt_rows, sched_rows, wait_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_table(rt_rows, title="Feitelson model: run-time prediction"))
+    print()
+    print(format_table(sched_rows, title="Feitelson model: backfill scheduling"))
+    print()
+    print(format_table(wait_rows, title="Feitelson model: wait prediction (backfill)"))
+
+    rt = {r["Predictor"]: r["RT error (min)"] for r in rt_rows}
+    assert rt["actual"] == 0.0
+    assert rt["smith"] < rt["max"]
+
+    sched = {r["Predictor"]: r for r in sched_rows}
+    assert (
+        abs(sched["smith"]["Util %"] - sched["actual"]["Util %"]) < 8.0
+    )
+    assert sched["smith"]["Wait (min)"] <= sched["max"]["Wait (min)"] * 1.1
+
+    wait = {r["Predictor"]: r["Wait-pred error (min)"] for r in wait_rows}
+    assert wait["actual"] <= wait["smith"] <= wait["max"] * 1.05

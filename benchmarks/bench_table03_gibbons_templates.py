@@ -1,0 +1,61 @@
+"""Table 3 — Gibbons' fixed template hierarchy.
+
+Verifies the implemented Gibbons predictor walks exactly the paper's six
+template/predictor combinations, in order, by probing which level serves
+each prediction.
+"""
+
+from __future__ import annotations
+
+from repro.core.tables import format_table
+from repro.predictors.gibbons import GibbonsPredictor
+from repro.workloads.job import Job
+
+
+def _probe():
+    """Drive the predictor through states that expose each level."""
+
+    def job(jid, user, exe, nodes, rt, submit=0.0):
+        return Job(
+            job_id=jid, submit_time=submit, run_time=rt, nodes=nodes,
+            user=user, executable=exe,
+        )
+
+    p = GibbonsPredictor()
+    hits: list[tuple[str, str]] = []
+    # Level 1: (u,e,n,rtime) mean.
+    p.on_finish(job(1, "u1", "e1", 4, 100.0), 0.0)
+    p.on_finish(job(2, "u1", "e1", 4, 120.0), 0.0)
+    hits.append(("(u,e,n,rtime) mean", p.predict(job(90, "u1", "e1", 4, 0.0)).source))
+    # Level 2: (u,e) regression — node bin empty, two bins populated.
+    p.on_finish(job(3, "u1", "e1", 32, 900.0), 0.0)
+    p.on_finish(job(4, "u1", "e1", 32, 950.0), 0.0)
+    hits.append(("(u,e) regression", p.predict(job(91, "u1", "e1", 16, 0.0)).source))
+    # Level 3: (e,n,rtime) mean — new user, known executable.
+    hits.append(("(e,n,rtime) mean", p.predict(job(92, "uX", "e1", 4, 0.0)).source))
+    # Level 4: (e) regression — new user, known executable, empty bin.
+    hits.append(("(e) regression", p.predict(job(93, "uX", "e1", 16, 0.0)).source))
+    # Level 5: (n,rtime) mean — unknown user and executable.
+    hits.append(("(n,rtime) mean", p.predict(job(94, "uX", "eX", 4, 0.0)).source))
+    # Level 6: () regression — unknown identity, empty node bin.
+    hits.append(("() regression", p.predict(job(95, "uX", "eX", 16, 0.0)).source))
+    return hits
+
+
+def test_table03_gibbons_hierarchy(benchmark):
+    hits = benchmark.pedantic(_probe, rounds=1, iterations=1)
+    expected = [
+        "gibbons:ue:mean",
+        "gibbons:ue:regression",
+        "gibbons:e:mean",
+        "gibbons:e:regression",
+        "gibbons:():mean",
+        "gibbons:():regression",
+    ]
+    rows = [
+        {"Paper template": name, "Served by": src, "Expected": exp}
+        for (name, src), exp in zip(hits, expected)
+    ]
+    print()
+    print(format_table(rows, title="Table 3 — Gibbons' template order"))
+    assert [src for _, src in hits] == expected

@@ -1,0 +1,26 @@
+"""Table 5 — wait-time prediction using maximum run times (EASY-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import print_wait_table, wait_time_rows
+
+
+def test_table05_wait_prediction_max(benchmark):
+    cells = benchmark.pedantic(
+        wait_time_rows,
+        args=("max", ("fcfs", "lwf", "backfill")),
+        rounds=1,
+        iterations=1,
+    )
+    print_wait_table("max", cells)
+
+    # Maximum run times are loose overestimates: predicted waits overshoot
+    # badly — the paper's errors run 94-350% of the mean wait.  Require the
+    # aggregate to exceed 50% and backfill (most estimate-sensitive) to
+    # exceed 100% on average.
+    pct = np.array([c.percent_of_mean_wait for c in cells])
+    assert pct.mean() > 50.0
+    bf = [c.percent_of_mean_wait for c in cells if c.algorithm == "Backfill"]
+    assert np.mean(bf) > 100.0

@@ -1,0 +1,21 @@
+"""Table 7 — wait-time prediction using Gibbons' run-time predictor."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import print_wait_table, wait_time_rows
+
+
+def test_table07_wait_prediction_gibbons(benchmark):
+    cells = benchmark.pedantic(
+        wait_time_rows,
+        args=("gibbons", ("fcfs", "lwf", "backfill")),
+        rounds=1,
+        iterations=1,
+    )
+    print_wait_table("gibbons", cells)
+    # Gibbons' history-based predictions, like Smith's, must land far
+    # below the max-run-time regime (Table 5's 94-350%): aggregate under
+    # ~120% of mean wait.
+    assert np.mean([c.percent_of_mean_wait for c in cells]) < 120.0

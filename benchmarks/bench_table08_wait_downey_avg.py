@@ -1,0 +1,22 @@
+"""Table 8 — wait-time prediction using Downey's conditional average."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import print_wait_table, wait_time_rows
+
+
+def test_table08_wait_prediction_downey_average(benchmark):
+    cells = benchmark.pedantic(
+        wait_time_rows,
+        args=("downey-average", ("fcfs", "lwf", "backfill")),
+        rounds=1,
+        iterations=1,
+    )
+    print_wait_table("downey-average", cells)
+    # All cells produced; errors finite and positive somewhere (Downey's
+    # one-distribution-per-queue model cannot be exact).
+    assert len(cells) == 12
+    assert all(np.isfinite(c.mean_error_minutes) for c in cells)
+    assert any(c.mean_error_minutes > 0 for c in cells)

@@ -1,0 +1,19 @@
+"""Table 10 — scheduling performance with actual run times (the oracle
+upper bound of §4)."""
+
+from __future__ import annotations
+
+from _common import print_scheduling_table, scheduling_rows
+
+
+def test_table10_scheduling_actual(benchmark):
+    cells = benchmark.pedantic(scheduling_rows, args=("actual",), rounds=1, iterations=1)
+    print_scheduling_table("actual", cells)
+
+    lwf = {c.workload: c for c in cells if c.algorithm == "LWF"}
+    bf = {c.workload: c for c in cells if c.algorithm == "Backfill"}
+    for w in lwf:
+        # Paper Table 10: LWF posts lower mean waits than backfill on
+        # every workload, at essentially equal utilization.
+        assert lwf[w].mean_wait_minutes < bf[w].mean_wait_minutes
+        assert abs(lwf[w].utilization_percent - bf[w].utilization_percent) < 8.0

@@ -1,0 +1,16 @@
+"""Table 13 — scheduling performance with Gibbons' predictor."""
+
+from __future__ import annotations
+
+from _common import print_scheduling_table, scheduling_rows
+
+
+def test_table13_scheduling_gibbons(benchmark):
+    cells = benchmark.pedantic(
+        scheduling_rows, args=("gibbons",), rounds=1, iterations=1
+    )
+    print_scheduling_table("gibbons", cells)
+    assert len(cells) == 8
+    for c in cells:
+        assert 0.0 < c.utilization_percent <= 100.0
+        assert c.mean_wait_minutes >= 0.0

@@ -1,0 +1,75 @@
+"""Structural validation of the synthetic workload substitution.
+
+DESIGN.md argues the paper's claims survive the synthetic-trace
+substitution because the traces preserve the *structure* the techniques
+exploit.  This bench measures that structure for all four workloads:
+
+- identity repetition (historical predictors need repeated runs);
+- within-identity run-time dispersion versus overall dispersion
+  (similar jobs must actually run similarly);
+- arrival burstiness (queues must form);
+- log-uniform fit quality per queue (Downey's model premise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tables import format_table
+from repro.workloads.analysis import (
+    interarrival_stats,
+    loguniform_fit_quality,
+    overestimation_stats,
+    repetition_stats,
+    within_group_dispersion,
+)
+
+from _common import WORKLOAD_ORDER, bench_traces
+
+
+def _run():
+    rows = []
+    for trace in bench_traces():
+        rep = repetition_stats(trace)
+        arr = interarrival_stats(trace)
+        fits = loguniform_fit_quality(trace)
+        mean_r2 = float(np.mean([f.r_squared for f in fits])) if fits else float("nan")
+        over = overestimation_stats(trace)
+        rows.append(
+            {
+                "Workload": trace.name,
+                "Repeat frac": round(rep.repeat_fraction, 2),
+                "Runs/identity": round(rep.mean_runs_per_identity, 1),
+                "Within/overall spread": round(within_group_dispersion(trace), 2),
+                "Arrival CV": round(arr.cv, 2),
+                "Log-uniform R2": round(mean_r2, 2) if fits else "n/a",
+                "Max/actual (median)": (
+                    round(over.median_factor, 1) if over.n_with_max else "n/a"
+                ),
+            }
+        )
+    return rows
+
+
+def test_workload_structure(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Synthetic workload structure"))
+
+    by = {r["Workload"]: r for r in rows}
+    for name in WORKLOAD_ORDER:
+        r = by[name]
+        # Most jobs repeat a known identity (archive traces: 60-90%).
+        assert r["Repeat frac"] > 0.5, name
+        # Similar jobs run similarly: within-identity spread well below
+        # the trace-wide spread.
+        assert r["Within/overall spread"] < 0.8, name
+        # Arrivals are at least as bursty as Poisson.
+        assert r["Arrival CV"] > 0.8, name
+    # The queued workloads support Downey's premise reasonably well.
+    for name in ("SDSC95", "SDSC96"):
+        assert by[name]["Log-uniform R2"] > 0.7
+    # User maxima are loose where they exist (the EASY-era observation
+    # the max-run-time baseline inherits).
+    for name in ("ANL", "CTC"):
+        assert by[name]["Max/actual (median)"] > 1.5

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Co-allocation across two machines — the paper's motivating use case.
+
+The introduction motivates wait-time prediction with metacomputing:
+"Estimates of queue wait times are useful ... to co-allocate resources
+from multiple systems."  §5 adds reservations as the mechanism.  This
+example plays that scenario out:
+
+1. Two machines (an ANL-like SP2 and an SDSC-like Paragon) each run
+   their own backfill scheduler mid-workload.
+2. A metacomputing application needs nodes on *both* simultaneously.
+3. We pick the reservation start time two ways —
+
+   - **naive**: "right now plus a fixed five minutes";
+   - **predicted**: probe each machine with
+     :func:`repro.waitpred.predict_wait` for a hypothetical job of the
+     required shape, and reserve at the later of the two predictions
+     (plus a small margin);
+
+   then place the reservation on both machines, finish the simulations,
+   and compare the reservation delays (how late the promised window
+   actually started).
+
+Run:  python examples/coallocation.py [n_jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    Job,
+    PointEstimator,
+    Simulator,
+    format_table,
+    load_paper_workload,
+    make_policy,
+    make_predictor,
+    predict_wait,
+)
+from repro.scheduler.reservations import Reservation
+from repro.scheduler.simulator import QueuedJob, SystemSnapshot
+from repro.workloads.transform import head
+
+NEED_NODES = 32
+NEED_SECONDS = 2 * 3600.0
+MARGIN = 10 * 60.0  # scheduling slack added to the predicted wait
+
+
+def build_machine(workload: str, n_jobs: int):
+    """A machine mid-operation: scheduler, remaining jobs, live state."""
+    trace = load_paper_workload(workload, n_jobs=n_jobs)
+    policy = make_policy("backfill")
+    estimator = PointEstimator(make_predictor("smith", trace))
+    sim = Simulator(policy, estimator, trace.total_nodes)
+    half = trace[len(trace) // 2].submit_time
+    sim.load_trace(trace)
+    sim.run(until_time=half)  # stop mid-flight: queue and nodes are live
+    return trace, sim, policy, estimator
+
+
+def predicted_local_wait(sim, policy, estimator) -> float:
+    """Predicted wait of a hypothetical NEED_NODES/NEED_SECONDS job."""
+    snapshot = sim.snapshot()
+    probe = Job(
+        job_id=10**9,
+        submit_time=snapshot.now,
+        run_time=NEED_SECONDS,
+        nodes=NEED_NODES,
+        user="metacomputing",
+    )
+    probed = SystemSnapshot(
+        now=snapshot.now,
+        running=snapshot.running,
+        queued=snapshot.queued + (QueuedJob(probe),),
+        total_nodes=snapshot.total_nodes,
+    )
+    return predict_wait(probed, policy, estimator, probe.job_id)
+
+
+def run_strategy(label: str, reserve_offsets: dict[str, float], n_jobs: int):
+    rows = []
+    for machine in ("ANL", "SDSC95"):
+        trace, sim, policy, estimator = build_machine(machine, n_jobs)
+        start = sim.now + reserve_offsets[machine]
+        sim.add_reservations(
+            [Reservation(res_id=1, start_time=start, duration=NEED_SECONDS,
+                         nodes=NEED_NODES)]
+        )
+        sim.run()  # drain the remaining events
+        [rec] = sim.reservation_records
+        rows.append(
+            {
+                "Strategy": label,
+                "Machine": machine,
+                "Reserved at (min from now)": round(
+                    reserve_offsets[machine] / 60.0, 1
+                ),
+                "Delay (min)": round(rec.delay / 60.0, 1),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+
+    # Probe both machines for the predicted wait of the co-allocated job.
+    predicted = {}
+    for machine in ("ANL", "SDSC95"):
+        _, sim, policy, estimator = build_machine(machine, n_jobs)
+        predicted[machine] = predicted_local_wait(sim, policy, estimator)
+        print(
+            f"{machine}: predicted wait for a {NEED_NODES}-node, "
+            f"{NEED_SECONDS / 3600:.0f}h job = {predicted[machine] / 60:.1f} min"
+        )
+    # Co-allocation needs one common start: the later prediction governs.
+    common = max(predicted.values()) + MARGIN
+    print(
+        f"\ncommon reservation chosen {common / 60:.1f} min out "
+        f"(max predicted wait + {MARGIN / 60:.0f} min margin)\n"
+    )
+
+    rows = []
+    rows += run_strategy(
+        "naive (+5 min)", {"ANL": 5 * 60.0, "SDSC95": 5 * 60.0}, n_jobs
+    )
+    rows += run_strategy(
+        "predicted", {"ANL": common, "SDSC95": common}, n_jobs
+    )
+    print(format_table(rows, title="Reservation delay by strategy"))
+    print(
+        "\nA delayed reservation on either machine stalls the whole "
+        "co-allocated application;\nwait-time predictions let the broker "
+        "promise a start both machines can honour."
+    )
+
+
+if __name__ == "__main__":
+    main()

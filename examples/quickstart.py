@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a workload and predict run times historically.
+
+Generates a slice of the synthetic ANL workload, runs the backfill
+scheduler twice — once trusting user-supplied maximum run times (the
+EASY-style baseline) and once with the paper's template-based historical
+predictor — and prints the resulting utilization and mean wait times.
+
+Run:  python examples/quickstart.py [n_jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    format_table,
+    load_paper_workload,
+    run_scheduling_experiment,
+    summarize,
+)
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    trace = load_paper_workload("ANL", n_jobs=n_jobs)
+    s = summarize(trace)
+    print(
+        f"workload: {s.name} — {s.n_jobs} jobs on {s.total_nodes} nodes, "
+        f"mean run time {s.mean_run_time_minutes:.1f} min, "
+        f"offered load {s.offered_load:.2f}\n"
+    )
+
+    rows = []
+    for predictor in ("max", "smith", "actual"):
+        cell, _ = run_scheduling_experiment(trace, "backfill", predictor)
+        rows.append(
+            {
+                "Run-time predictor": predictor,
+                "Utilization (%)": round(cell.utilization_percent, 2),
+                "Mean wait (min)": round(cell.mean_wait_minutes, 2),
+            }
+        )
+    print(format_table(rows, title="Backfill scheduling, three predictors"))
+    print(
+        "\nHistorical predictions ('smith') recover most of the gap between "
+        "user maxima ('max')\nand perfect knowledge ('actual') — the paper's "
+        "§4 result."
+    )
+
+
+if __name__ == "__main__":
+    main()

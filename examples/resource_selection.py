@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Resource selection across a federation — the paper's §1 motivation.
+
+Three machines of different sizes run backfill schedulers; one shared
+stream of jobs arrives at a broker.  Four routing strategies compete:
+
+- random,
+- round-robin,
+- least queued work per node (cheap heuristic),
+- **predicted wait** — probe each machine with the paper's forward-
+  simulation wait predictor and go where the wait is shortest.
+
+Run:  python examples/resource_selection.py [n_jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import format_table, load_paper_workload
+from repro.metacomputing import (
+    LeastQueuedWorkRouting,
+    Machine,
+    MetaSimulator,
+    PredictedWaitRouting,
+    RandomRouting,
+    RoundRobinRouting,
+)
+from repro.predictors.base import PointEstimator
+from repro.predictors.smith import SmithPredictor
+from repro.scheduler.policies import BackfillPolicy
+
+
+def build_federation():
+    """Three backfill machines, each with its own Smith predictor."""
+    machines = []
+    for name, nodes in (("argonne", 80), ("cornell", 160), ("sandiego", 48)):
+        machines.append(
+            Machine(
+                name,
+                BackfillPolicy(),
+                PointEstimator(SmithPredictor.for_trace(_ARRIVALS)),
+                nodes,
+            )
+        )
+    return machines
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    global _ARRIVALS
+    # One arrival stream; jobs sized for the smallest machine so every
+    # strategy faces identical eligibility.
+    _ARRIVALS = load_paper_workload("ANL", n_jobs=n_jobs)
+    _ARRIVALS = _ARRIVALS.map(lambda j: j.with_(nodes=min(j.nodes, 48)))
+
+    strategies = [
+        RandomRouting(seed=0),
+        RoundRobinRouting(),
+        LeastQueuedWorkRouting(),
+        PredictedWaitRouting(),
+    ]
+    rows = []
+    for strategy in strategies:
+        meta = MetaSimulator(build_federation(), strategy)
+        result = meta.run(_ARRIVALS)
+        rows.append(
+            {
+                "Strategy": result.strategy,
+                "Mean wait (min)": round(result.mean_wait_minutes, 2),
+                "argonne %": round(100 * result.machine_share("argonne")),
+                "cornell %": round(100 * result.machine_share("cornell")),
+                "sandiego %": round(100 * result.machine_share("sandiego")),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Routing {n_jobs} jobs across a 3-machine federation "
+                "(backfill everywhere)"
+            ),
+        )
+    )
+    print(
+        "\nPredicted-wait routing is the paper's motivating application: "
+        "the broker runs the\n§3 forward simulation on every machine and "
+        "submits where the job starts soonest."
+    )
+
+
+_ARRIVALS = None
+
+if __name__ == "__main__":
+    main()

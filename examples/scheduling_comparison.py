@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Policy × predictor grid — FCFS vs LWF vs backfill under five predictors.
+
+Reproduces the §4 comparison on one workload: utilization barely moves
+with the predictor, mean wait does — most strongly for backfill, whose
+reservations live and die by estimate quality.
+
+Run:  python examples/scheduling_comparison.py [workload] [n_jobs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import format_table, load_paper_workload, run_scheduling_experiment
+from repro.core.registry import PREDICTOR_NAMES
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "ANL"
+    n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1000
+    trace = load_paper_workload(workload, n_jobs=n_jobs)
+
+    rows = []
+    for policy in ("fcfs", "lwf", "backfill"):
+        for predictor in PREDICTOR_NAMES:
+            if policy == "fcfs" and predictor != "actual":
+                continue  # FCFS ignores estimates; one row suffices
+            cell, _ = run_scheduling_experiment(trace, policy, predictor)
+            rows.append(
+                {
+                    "Policy": cell.algorithm,
+                    "Predictor": predictor,
+                    "Utilization (%)": round(cell.utilization_percent, 2),
+                    "Mean wait (min)": round(cell.mean_wait_minutes, 2),
+                }
+            )
+    print(
+        format_table(
+            rows,
+            title=f"{workload} ({n_jobs} jobs): scheduling policy × run-time predictor",
+        )
+    )
+    print(
+        "\nReading guide: FCFS ignores predictions entirely; LWF only needs "
+        "big-vs-small;\nbackfill is the estimate-sensitive algorithm (§4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

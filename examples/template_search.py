@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Genetic template search — the paper's §2.1 novelty.
+
+Runs the GA over a workload slice and compares three Smith predictors:
+the single global-mean template, the curated defaults, and the
+GA-discovered set, against the max-run-time baseline.
+
+Run:  python examples/template_search.py [workload] [n_jobs] [generations]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import GAConfig, SmithPredictor, format_table, load_paper_workload
+from repro.predictors.ga import search_templates
+from repro.predictors.replay import replay_prediction_error
+from repro.predictors.simple import MaxRuntimePredictor
+from repro.predictors.templates import Template, default_templates
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "ANL"
+    n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 800
+    generations = int(sys.argv[3]) if len(sys.argv) > 3 else 8
+    trace = load_paper_workload(workload, n_jobs=n_jobs)
+
+    cfg = GAConfig(population=16, generations=generations, eval_jobs=400, seed=0)
+    print(
+        f"searching template sets over {workload} "
+        f"(population {cfg.population}, {cfg.generations} generations)...\n"
+    )
+    best_templates, history = search_templates(trace, config=cfg)
+
+    print(
+        format_table(
+            [
+                {"Generation": i, "Best error (min)": round(e / 60.0, 2),
+                 "Mean error (min)": round(m / 60.0, 2)}
+                for i, (e, m) in enumerate(
+                    zip(history.best_errors, history.mean_errors)
+                )
+            ],
+            title="GA convergence",
+        )
+    )
+    print()
+    print(
+        format_table(
+            [{"Template": t.describe()} for t in best_templates],
+            title="Discovered template set",
+        )
+    )
+
+    has_max = any(j.max_run_time is not None for j in trace)
+    contenders = {
+        "global mean only": SmithPredictor([Template()]),
+        "curated defaults": SmithPredictor(
+            default_templates(trace.available_fields, has_max_run_time=has_max)
+        ),
+        "GA-discovered": SmithPredictor(best_templates),
+        "max run times": MaxRuntimePredictor.from_trace(trace),
+    }
+    rows = []
+    for name, predictor in contenders.items():
+        report = replay_prediction_error(trace, predictor)
+        rows.append(
+            {
+                "Predictor": name,
+                "Mean |error| (min)": round(report.mean_abs_error_minutes, 2),
+                "% of mean run time": round(
+                    100.0 * report.error_fraction_of_mean_run_time
+                ),
+            }
+        )
+    print()
+    print(format_table(rows, title=f"Full-trace replay accuracy ({workload})"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md (paper-vs-measured for every table).
+
+Usage:  python scripts/make_experiments_report.py [n_jobs] [output]
+
+``n_jobs`` scales each workload (default 1000; 0 = full paper sizes —
+slow).  Writes to EXPERIMENTS.md in the repository root by default.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.core.report import generate_experiments_report
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    out = Path(sys.argv[2]) if len(sys.argv) > 2 else (
+        Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    )
+    t0 = time.time()
+
+    def progress(msg: str) -> None:
+        print(f"[{time.time() - t0:7.1f}s] {msg}", flush=True)
+
+    body = generate_experiments_report(
+        n_jobs if n_jobs > 0 else None, progress=progress
+    )
+    out.write_text(body, encoding="utf-8")
+    print(f"wrote {out} ({len(body.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs to build a wheel for the editable install; on
+fully offline machines without the ``wheel`` distribution that fails, and
+``python setup.py develop`` (which this file enables) is the fallback.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

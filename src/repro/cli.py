@@ -1,0 +1,220 @@
+"""Command-line interface: run any of the paper's experiments directly.
+
+Installed as the ``repro-sched`` console script::
+
+    repro-sched scheduling --workloads ANL --predictors actual max smith
+    repro-sched wait-time --algorithms backfill --n-jobs 500
+    repro-sched runtime-error
+    repro-sched summarize --n-jobs 2000
+    repro-sched report --n-jobs 1000 -o EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import ExperimentConfig
+from repro.core.experiment import (
+    run_runtime_prediction_experiment,
+    run_scheduling_experiment,
+    run_wait_time_experiment,
+)
+from repro.core.registry import POLICY_NAMES, PREDICTOR_NAMES
+from repro.core.tables import format_table
+from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
+from repro.workloads.stats import summarize
+from repro.workloads.transform import compress_interarrival
+
+__all__ = ["main", "build_parser", "run_config"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=(
+            "Reproduction of Smith/Taylor/Foster (IPPS 1999): run-time "
+            "prediction for queue wait-time estimation and scheduling."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_grid_args(p: argparse.ArgumentParser, *, algorithms: bool) -> None:
+        p.add_argument(
+            "--workloads",
+            nargs="+",
+            default=list(PAPER_WORKLOADS),
+            choices=sorted(PAPER_WORKLOADS),
+            metavar="W",
+        )
+        if algorithms:
+            p.add_argument(
+                "--algorithms",
+                nargs="+",
+                default=["lwf", "backfill"],
+                choices=POLICY_NAMES,
+                metavar="A",
+            )
+        p.add_argument(
+            "--predictors",
+            nargs="+",
+            default=["actual", "max", "smith"],
+            choices=PREDICTOR_NAMES,
+            metavar="P",
+        )
+        p.add_argument("--n-jobs", type=int, default=1000,
+                       help="jobs per workload (0 = full paper size)")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--compress", type=float, default=1.0,
+                       help="divide interarrival gaps by this factor")
+
+    p_sched = sub.add_parser("scheduling", help="Tables 10-15 style grid")
+    add_grid_args(p_sched, algorithms=True)
+    p_wait = sub.add_parser("wait-time", help="Tables 4-9 style grid")
+    add_grid_args(p_wait, algorithms=True)
+    p_rt = sub.add_parser("runtime-error", help="§3 run-time accuracy grid")
+    add_grid_args(p_rt, algorithms=False)
+
+    p_sum = sub.add_parser("summarize", help="Table 1 style characterization")
+    p_sum.add_argument("--n-jobs", type=int, default=1000)
+
+    p_rep = sub.add_parser("report", help="write the EXPERIMENTS.md grid")
+    p_rep.add_argument("--n-jobs", type=int, default=1000)
+    p_rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    p_ga = sub.add_parser("ga-search", help="genetic template search (§2.1)")
+    p_ga.add_argument("--workload", default="ANL", choices=sorted(PAPER_WORKLOADS))
+    p_ga.add_argument("--n-jobs", type=int, default=800)
+    p_ga.add_argument("--population", type=int, default=16)
+    p_ga.add_argument("--generations", type=int, default=8)
+    p_ga.add_argument("--eval-jobs", type=int, default=400)
+    p_ga.add_argument("--seed", type=int, default=0)
+    p_ga.add_argument(
+        "--algorithm",
+        default=None,
+        choices=POLICY_NAMES,
+        help="fit against a recorded per-algorithm prediction workload "
+        "instead of the submit-time replay",
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace, kind: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        kind=kind,
+        workloads=tuple(args.workloads),
+        algorithms=tuple(getattr(args, "algorithms", ("lwf", "backfill"))),
+        predictors=tuple(args.predictors),
+        n_jobs=None if args.n_jobs <= 0 else args.n_jobs,
+        seed=args.seed,
+        compress=args.compress,
+    )
+
+
+def _load(config: ExperimentConfig, name: str):
+    trace = load_paper_workload(name, n_jobs=config.n_jobs, seed=config.seed)
+    if config.compress != 1.0:
+        trace = compress_interarrival(trace, config.compress)
+    return trace
+
+
+def run_config(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Execute a config and return printable row dicts."""
+    rows: list[dict[str, object]] = []
+    for workload in config.workloads:
+        trace = _load(config, workload)
+        if config.kind == "runtime-error":
+            for predictor in config.predictors:
+                cell = run_runtime_prediction_experiment(trace, predictor)
+                rows.append(cell.as_row())
+            continue
+        for algorithm in config.algorithms:
+            for predictor in config.predictors:
+                if config.kind == "scheduling":
+                    cell, _ = run_scheduling_experiment(trace, algorithm, predictor)
+                    row = cell.as_row()
+                else:
+                    cell, _, _ = run_wait_time_experiment(
+                        trace, algorithm, predictor
+                    )
+                    row = cell.as_row()
+                row["Predictor"] = predictor
+                rows.append(row)
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "summarize":
+        rows = [
+            summarize(
+                load_paper_workload(
+                    w, n_jobs=None if args.n_jobs <= 0 else args.n_jobs
+                )
+            ).as_row()
+            for w in PAPER_WORKLOADS
+        ]
+        print(format_table(rows, title="Workload characteristics (Table 1)"))
+        return 0
+    if args.command == "ga-search":
+        from repro.predictors.ga import GAConfig, TemplateSearch
+        from repro.predictors.replay import replay_prediction_error
+        from repro.predictors.smith import SmithPredictor
+
+        trace = load_paper_workload(args.workload, n_jobs=args.n_jobs)
+        cfg = GAConfig(
+            population=args.population,
+            generations=args.generations,
+            eval_jobs=args.eval_jobs,
+            seed=args.seed,
+        )
+        workload = None
+        if args.algorithm is not None:
+            from repro.predictors.prediction_workload import (
+                record_prediction_workload,
+            )
+
+            workload = record_prediction_workload(trace, args.algorithm)
+        search = TemplateSearch(trace, config=cfg, prediction_workload=workload)
+        templates, history = search.run()
+        print(
+            format_table(
+                [{"Template": t.describe()} for t in templates],
+                title=f"Best template set ({args.workload}"
+                + (f"/{args.algorithm}" if args.algorithm else "")
+                + ")",
+            )
+        )
+        report = replay_prediction_error(trace, SmithPredictor(templates))
+        print(
+            f"\nbest-per-generation error (min): "
+            f"{[round(e / 60, 1) for e in history.best_errors]}"
+        )
+        print(
+            f"full-replay error: {report.mean_abs_error_minutes:.1f} min "
+            f"({100 * report.error_fraction_of_mean_run_time:.0f}% of mean run time)"
+        )
+        return 0
+    if args.command == "report":
+        from repro.core.report import generate_experiments_report
+
+        body = generate_experiments_report(
+            None if args.n_jobs <= 0 else args.n_jobs,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        )
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(body)
+        print(f"wrote {args.output}")
+        return 0
+
+    kind = {"scheduling": "scheduling", "wait-time": "wait-time",
+            "runtime-error": "runtime-error"}[args.command]
+    config = _config_from_args(args, kind)
+    rows = run_config(config)
+    print(format_table(rows, title=f"{kind} experiment"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

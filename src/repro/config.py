@@ -1,0 +1,70 @@
+"""Experiment configuration objects.
+
+Bundles the knobs the drivers in :mod:`repro.core.experiment` accept into
+one validated, serializable record so batch runs (the CLI, sweep scripts)
+can be specified declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Sequence
+
+from repro.core.registry import POLICY_NAMES, PREDICTOR_NAMES
+from repro.workloads.archive import PAPER_WORKLOADS
+
+__all__ = ["ExperimentConfig"]
+
+_KINDS = ("scheduling", "wait-time", "runtime-error")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment-grid specification.
+
+    ``n_jobs=None`` runs the full paper-scale workloads.  ``compress``
+    divides interarrival gaps (the §4 load-raising transformation).
+    """
+
+    kind: str = "scheduling"
+    workloads: tuple[str, ...] = ("ANL", "CTC", "SDSC95", "SDSC96")
+    algorithms: tuple[str, ...] = ("lwf", "backfill")
+    predictors: tuple[str, ...] = ("actual", "max", "smith")
+    n_jobs: int | None = 1000
+    seed: int | None = None
+    compress: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        for w in self.workloads:
+            if w not in PAPER_WORKLOADS:
+                raise ValueError(
+                    f"unknown workload {w!r}; expected one of "
+                    f"{sorted(PAPER_WORKLOADS)}"
+                )
+        for a in self.algorithms:
+            if a not in POLICY_NAMES:
+                raise ValueError(f"unknown algorithm {a!r}")
+        for p in self.predictors:
+            if p not in PREDICTOR_NAMES:
+                raise ValueError(f"unknown predictor {p!r}")
+        if self.n_jobs is not None and self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1 or None")
+        if self.compress <= 0:
+            raise ValueError("compress must be positive")
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        coerced = dict(data)
+        for key in ("workloads", "algorithms", "predictors"):
+            if key in coerced and not isinstance(coerced[key], tuple):
+                coerced[key] = tuple(coerced[key])
+        return cls(**coerced)

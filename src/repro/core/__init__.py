@@ -1,0 +1,44 @@
+"""Experiment drivers reproducing the paper's tables.
+
+- :mod:`repro.core.registry` — named factories for predictors and
+  policies, so experiments are configured by strings;
+- :mod:`repro.core.experiment` — the two experiment families: wait-time
+  prediction accuracy (Tables 4-9) and scheduling performance
+  (Tables 10-15), plus run-time prediction accuracy and the compressed-
+  interarrival study;
+- :mod:`repro.core.tables` — plain-text rendering in the paper's layout.
+"""
+
+from repro.core.registry import (
+    PREDICTOR_NAMES,
+    POLICY_NAMES,
+    make_policy,
+    make_predictor,
+)
+from repro.core.experiment import (
+    SchedulingCell,
+    WaitTimeCell,
+    RuntimePredictionCell,
+    run_scheduling_experiment,
+    run_scheduling_table,
+    run_wait_time_experiment,
+    run_wait_time_table,
+    run_runtime_prediction_experiment,
+)
+from repro.core.tables import format_table
+
+__all__ = [
+    "PREDICTOR_NAMES",
+    "POLICY_NAMES",
+    "make_policy",
+    "make_predictor",
+    "SchedulingCell",
+    "WaitTimeCell",
+    "RuntimePredictionCell",
+    "run_scheduling_experiment",
+    "run_scheduling_table",
+    "run_wait_time_experiment",
+    "run_wait_time_table",
+    "run_runtime_prediction_experiment",
+    "format_table",
+]

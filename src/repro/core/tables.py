@@ -1,0 +1,51 @@
+"""Plain-text table rendering in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    ``columns`` selects and orders the columns; by default the keys of
+    the first row are used.  Numeric cells are right-aligned.
+    """
+    if not rows:
+        return (title + "\n(no rows)") if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(["" if row.get(c) is None else str(row.get(c)) for c in cols])
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    numeric = [
+        all(_is_number(row.get(c)) for row in rows) for c in cols
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        out = []
+        for i, cell in enumerate(cells):
+            out.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(cols))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(fmt_line(r))
+    return "\n".join(lines)
+
+
+def _is_number(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)

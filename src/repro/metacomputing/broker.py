@@ -1,0 +1,96 @@
+"""The metacomputing broker: one arrival stream, many machines.
+
+:class:`MetaSimulator` advances all machines in lockstep along the
+arrival stream's timeline: before each job arrives, every machine
+processes its own events up to that instant; the routing strategy then
+inspects the live states and places the job.  After the last arrival
+every machine drains, and the per-job waits are aggregated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.metacomputing.machine import Machine
+from repro.metacomputing.routing import RoutingStrategy
+from repro.scheduler.metrics import ScheduleResult
+from repro.utils.timeutils import seconds_to_minutes
+from repro.workloads.job import Job, Trace
+
+__all__ = ["MetaSimulator", "MetaResult"]
+
+
+@dataclass(frozen=True)
+class MetaResult:
+    """Outcome of one brokered run."""
+
+    strategy: str
+    per_machine: dict[str, ScheduleResult]
+    placements: dict[int, str]  # job_id -> machine name
+
+    @property
+    def n_jobs(self) -> int:
+        return sum(len(r) for r in self.per_machine.values())
+
+    @property
+    def mean_wait_minutes(self) -> float:
+        waits = np.concatenate(
+            [r.wait_times for r in self.per_machine.values() if len(r)]
+        ) if self.n_jobs else np.array([])
+        if waits.size == 0:
+            return 0.0
+        return seconds_to_minutes(float(waits.mean()))
+
+    def machine_share(self, name: str) -> float:
+        """Fraction of jobs routed to ``name``."""
+        if not self.placements:
+            return 0.0
+        hits = sum(1 for m in self.placements.values() if m == name)
+        return hits / len(self.placements)
+
+
+class MetaSimulator:
+    """Route one arrival stream across machines and simulate them all."""
+
+    def __init__(self, machines: Sequence[Machine], strategy: RoutingStrategy) -> None:
+        if not machines:
+            raise ValueError("at least one machine required")
+        names = [m.name for m in machines]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate machine names: {names}")
+        self.machines = list(machines)
+        self.strategy = strategy
+
+    def run(self, arrivals: Trace | Iterable[Job]) -> MetaResult:
+        """Broker every job of ``arrivals`` (in submission order)."""
+        placements: dict[int, str] = {}
+        jobs = list(arrivals)
+        jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+        for job in jobs:
+            t = job.submit_time
+            eligible = [m for m in self.machines if m.fits(job)]
+            if not eligible:
+                raise ValueError(
+                    f"job {job.job_id} ({job.nodes} nodes) fits no machine"
+                )
+            for m in eligible:
+                m.advance_to(t)
+            target = self.strategy.choose(eligible, job, t)
+            if target not in eligible:
+                raise RuntimeError(
+                    f"{self.strategy.name} chose an ineligible machine"
+                )
+            target.submit(job, t)
+            placements[job.job_id] = target.name
+        per_machine: dict[str, ScheduleResult] = {}
+        for m in self.machines:
+            m.drain()
+            per_machine[m.name] = m.sim.result()
+        return MetaResult(
+            strategy=self.strategy.name,
+            per_machine=per_machine,
+            placements=placements,
+        )

@@ -1,0 +1,69 @@
+"""One machine of a metacomputing federation."""
+
+from __future__ import annotations
+
+from repro.predictors.base import PointEstimator
+from repro.scheduler.policies.base import Policy
+from repro.scheduler.simulator import Simulator
+from repro.workloads.job import Job
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A named scheduler instance advancing on an external clock.
+
+    Wraps a :class:`~repro.scheduler.simulator.Simulator`; the broker
+    calls :meth:`advance_to` before consulting or submitting, so all
+    machines share one timeline.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        policy: Policy,
+        estimator: PointEstimator,
+        total_nodes: int,
+    ) -> None:
+        self.name = name
+        self.policy = policy
+        self.estimator = estimator
+        self.sim = Simulator(policy, estimator, total_nodes)
+
+    @property
+    def total_nodes(self) -> int:
+        return self.sim.pool.total
+
+    def fits(self, job: Job) -> bool:
+        """Whether this machine could ever run the job."""
+        return job.nodes <= self.total_nodes
+
+    def advance_to(self, time: float) -> None:
+        """Process all events up to ``time``; state becomes live-at-time."""
+        self.sim.run(until_time=time)
+        self.sim.now = max(self.sim.now, time)
+
+    def submit(self, job: Job, time: float) -> None:
+        """Inject a job arriving now (the broker's routing decision)."""
+        if not self.fits(job):
+            raise ValueError(
+                f"job {job.job_id} needs {job.nodes} nodes; machine "
+                f"{self.name} has {self.total_nodes}"
+            )
+        from repro.scheduler.events import SUBMIT
+
+        self.sim._events.push(max(time, self.sim.now), SUBMIT, job)
+
+    def drain(self) -> None:
+        """Run the machine to completion."""
+        self.sim.run()
+
+    def queued_work(self, time: float) -> float:
+        """Estimated node-seconds waiting in the queue (broker metric)."""
+        total = 0.0
+        for qj in self.sim.queued:
+            total += qj.job.nodes * self.estimator.predict(qj.job, 0.0, time)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine({self.name!r}, nodes={self.total_nodes})"

@@ -1,0 +1,69 @@
+"""Run-time predictors.
+
+The paper's central objects: given a job (and possibly how long it has
+already run), estimate its total run time.  Implemented families:
+
+- :mod:`repro.predictors.smith` — the paper's contribution: template-based
+  categories with smallest-confidence-interval selection;
+- :mod:`repro.predictors.gibbons` — Gibbons' fixed template hierarchy
+  (Table 3) with variance-weighted cross-category regression;
+- :mod:`repro.predictors.downey` — Downey's log-uniform conditional
+  median / conditional average estimators, categorized by queue;
+- :mod:`repro.predictors.simple` — the two baselines: actual run times
+  (oracle) and user-supplied maximum run times (EASY-style);
+- :mod:`repro.predictors.ga` — the genetic-algorithm template search;
+- :mod:`repro.predictors.replay` — online replay of a trace through a
+  predictor to score its accuracy.
+
+All predictors implement :class:`repro.predictors.base.RuntimePredictor`;
+:class:`repro.predictors.base.PointEstimator` adapts any of them (plus a
+fallback chain) into the plain ``predict -> float`` estimator the
+scheduler consumes.
+"""
+
+from repro.predictors.base import (
+    Prediction,
+    RuntimePredictor,
+    PointEstimator,
+    warm_start,
+)
+from repro.predictors.templates import Template, default_templates
+from repro.predictors.category import Category, DataPoint
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.gibbons import GibbonsPredictor
+from repro.predictors.downey import DowneyPredictor
+from repro.predictors.simple import ActualRuntimePredictor, MaxRuntimePredictor
+from repro.predictors.ga import GAConfig, TemplateSearch, search_templates
+from repro.predictors.replay import replay_prediction_error, ReplayReport
+from repro.predictors.prediction_workload import (
+    PredictionWorkload,
+    record_prediction_workload,
+    replay_workload_error,
+)
+from repro.predictors.tuned import TUNED_TEMPLATES, tuned_templates
+
+__all__ = [
+    "Prediction",
+    "RuntimePredictor",
+    "PointEstimator",
+    "warm_start",
+    "Template",
+    "default_templates",
+    "Category",
+    "DataPoint",
+    "SmithPredictor",
+    "GibbonsPredictor",
+    "DowneyPredictor",
+    "ActualRuntimePredictor",
+    "MaxRuntimePredictor",
+    "GAConfig",
+    "TemplateSearch",
+    "search_templates",
+    "replay_prediction_error",
+    "ReplayReport",
+    "PredictionWorkload",
+    "record_prediction_workload",
+    "replay_workload_error",
+    "TUNED_TEMPLATES",
+    "tuned_templates",
+]

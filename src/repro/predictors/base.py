@@ -1,0 +1,138 @@
+"""Predictor protocol and the scheduler-facing point-estimate adapter.
+
+A :class:`RuntimePredictor` produces a rich :class:`Prediction` (estimate
+plus confidence-interval half-width) or ``None`` when it has no basis for
+one — e.g. the Smith predictor during its ramp-up, before any similar job
+has completed (paper §2.1).  The scheduler, by contrast, always needs *a*
+number.  :class:`PointEstimator` bridges the two with the fallback chain
+the experiments use:
+
+    predictor → user-supplied max run time → running mean of all
+    completed jobs → a fixed default
+
+and clamps every estimate to at least the elapsed run time, since a job
+that has already run ``a`` seconds cannot finish sooner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.workloads.job import Job
+
+__all__ = ["Prediction", "RuntimePredictor", "PointEstimator", "warm_start"]
+
+
+def warm_start(predictor: "RuntimePredictor", jobs) -> "RuntimePredictor":
+    """Pre-load a predictor's history from a training set.
+
+    The paper notes (§2.1) that the initial ramp-up — no predictions
+    until similar jobs have completed — "could be corrected by using a
+    training set to initialize C".  This feeds every job of ``jobs``
+    (e.g. a prefix trace) to the predictor's completion hook, in order,
+    and returns the predictor for chaining.
+    """
+    for job in jobs:
+        predictor.on_finish(job, job.submit_time + job.run_time)
+    return predictor
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A run-time estimate with its confidence interval half-width."""
+
+    estimate: float
+    interval: float
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise ValueError(f"interval must be >= 0, got {self.interval}")
+
+
+class RuntimePredictor(ABC):
+    """Interface all run-time predictors implement.
+
+    ``elapsed`` is how long the job has been executing when the prediction
+    is requested (0.0 for queued jobs); history-based predictors condition
+    on it.  Lifecycle hooks mirror the simulator's estimator protocol;
+    only :meth:`on_finish` matters to the historical predictors, which
+    insert a data point as soon as a job completes (§2.1 step 3).
+    """
+
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, job: Job, elapsed: float = 0.0, now: float = 0.0) -> Prediction | None:
+        """Predict the job's total run time, or ``None`` if impossible."""
+
+    def on_submit(self, job: Job, now: float) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_start(self, job: Job, now: float) -> None:  # pragma: no cover - hook
+        pass
+
+    def on_finish(self, job: Job, now: float) -> None:  # pragma: no cover - hook
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PointEstimator:
+    """Adapt a :class:`RuntimePredictor` into a scheduler estimator.
+
+    Implements the ``predict(job, elapsed, now) -> float`` protocol of
+    :mod:`repro.scheduler.simulator` plus the lifecycle hooks, forwarding
+    them to the wrapped predictor so its history stays current.
+    """
+
+    def __init__(
+        self,
+        predictor: RuntimePredictor,
+        *,
+        fall_back_to_max: bool = True,
+        default: float = 600.0,
+        cap_at_max: bool = False,
+    ) -> None:
+        if default <= 0:
+            raise ValueError(f"default must be positive, got {default}")
+        self.predictor = predictor
+        self.fall_back_to_max = fall_back_to_max
+        self.default = default
+        self.cap_at_max = cap_at_max
+        self._completed_sum = 0.0
+        self._completed_count = 0
+
+    @property
+    def name(self) -> str:
+        return self.predictor.name
+
+    def predict(self, job: Job, elapsed: float, now: float) -> float:
+        pred = self.predictor.predict(job, elapsed, now)
+        if pred is not None:
+            est = pred.estimate
+        elif self.fall_back_to_max and job.max_run_time is not None:
+            est = job.max_run_time
+        elif self._completed_count > 0:
+            est = self._completed_sum / self._completed_count
+        else:
+            est = self.default
+        if self.cap_at_max and job.max_run_time is not None:
+            est = min(est, job.max_run_time)
+        return max(est, elapsed)
+
+    def on_submit(self, job: Job, now: float) -> None:
+        self.predictor.on_submit(job, now)
+
+    def on_start(self, job: Job, now: float) -> None:
+        self.predictor.on_start(job, now)
+
+    def on_finish(self, job: Job, now: float) -> None:
+        self._completed_sum += job.run_time
+        self._completed_count += 1
+        self.predictor.on_finish(job, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PointEstimator({self.predictor!r})"

@@ -1,0 +1,134 @@
+"""Categories: the per-template history buckets predictions come from.
+
+A :class:`Category` accumulates :class:`DataPoint` observations from
+completed jobs that matched one template's key, bounded by the template's
+maximum history (oldest evicted first, §2.1 step 3(b)ii).  Predictions
+come from the template's estimator:
+
+- ``mean`` — sample mean of the stored datum with a Student-t prediction
+  interval (incremental moments serve the common elapsed==0 case; the
+  conditioned case filters points whose total run time is at least the
+  elapsed time);
+- ``linear`` / ``inverse`` / ``log`` — least squares of the datum against
+  the (transformed) node count, evaluated at the queried job's nodes,
+  with the OLS prediction interval.
+
+For *relative* templates the stored datum is ``run_time / max_run_time``
+and predictions are scaled back by the queried job's own maximum.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.ci import RunningMoments, mean_confidence_interval
+from repro.stats.regression import fit_inverse, fit_linear, fit_logarithmic
+from repro.predictors.templates import Template
+from repro.workloads.job import Job
+
+__all__ = ["DataPoint", "Category"]
+
+_FITTERS = {
+    "linear": fit_linear,
+    "inverse": fit_inverse,
+    "log": fit_logarithmic,
+}
+
+#: Minimum points for a valid prediction: 2 gives a defined variance for
+#: the mean; regressions need 3 for a prediction interval.
+_MIN_POINTS_MEAN = 2
+_MIN_POINTS_REGRESSION = 3
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """One completed job's contribution to a category."""
+
+    run_time: float
+    nodes: int
+    value: float  # run_time, or run_time / max_run_time for relative templates
+
+
+class Category:
+    """Bounded history of similar jobs with an attached estimator."""
+
+    def __init__(self, template: Template) -> None:
+        self.template = template
+        self._points: deque[DataPoint] = deque()
+        self._moments = RunningMoments()
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> tuple[DataPoint, ...]:
+        return tuple(self._points)
+
+    def add(self, job: Job) -> None:
+        """Insert a completed job, evicting the oldest at capacity."""
+        if self.template.relative:
+            if job.max_run_time is None:
+                raise ValueError(
+                    f"relative template {self.template.describe()} cannot store "
+                    f"job {job.job_id} without a max run time"
+                )
+            value = job.run_time / job.max_run_time
+        else:
+            value = job.run_time
+        limit = self.template.max_history
+        if limit is not None and len(self._points) >= limit:
+            old = self._points.popleft()
+            self._moments.remove(old.value)
+        self._points.append(DataPoint(run_time=job.run_time, nodes=job.nodes, value=value))
+        self._moments.add(value)
+
+    def predict(
+        self, job: Job, elapsed: float = 0.0, confidence: float = 0.90
+    ) -> tuple[float, float] | None:
+        """``(estimate, interval_half_width)`` for ``job`` or ``None``.
+
+        ``elapsed`` conditions the prediction on the job having already
+        run that long: only historical points whose total run time is at
+        least ``elapsed`` participate (corrected §2.1 semantics), and the
+        estimate is floored at ``elapsed``.
+        """
+        if self.template.relative and job.max_run_time is None:
+            return None
+        if elapsed > 0.0:
+            pts = [p for p in self._points if p.run_time >= elapsed]
+        else:
+            pts = None  # use incremental moments / full deque
+
+        kind = self.template.estimator
+        if kind == "mean":
+            if pts is None:
+                if self._moments.count < _MIN_POINTS_MEAN:
+                    return None
+                est, hw = self._moments.interval(confidence)
+            else:
+                if len(pts) < _MIN_POINTS_MEAN:
+                    return None
+                est, hw = mean_confidence_interval(
+                    [p.value for p in pts], confidence
+                )
+        else:
+            sample = list(self._points) if pts is None else pts
+            if len(sample) < _MIN_POINTS_REGRESSION:
+                return None
+            xs = np.array([p.nodes for p in sample], dtype=float)
+            ys = np.array([p.value for p in sample], dtype=float)
+            try:
+                fit = _FITTERS[kind](xs, ys)
+            except ValueError:
+                return None
+            est, hw = fit.prediction_interval(job.nodes, confidence)
+
+        if self.template.relative:
+            assert job.max_run_time is not None
+            est *= job.max_run_time
+            hw *= job.max_run_time
+        est = max(est, elapsed)
+        return est, max(hw, 0.0)

@@ -1,0 +1,332 @@
+"""Genetic-algorithm search for template sets (paper §2.1).
+
+The paper's novelty over Gibbons and Downey is *searching* for the
+similarity templates instead of fixing them.  An individual is a template
+set of 1-10 templates; each template is a fixed-width bit string
+encoding:
+
+- 2 bits — estimator (mean / linear / inverse / logarithmic regression);
+- 1 bit — absolute vs. relative run times;
+- one bit per categorical characteristic the workload records;
+- 1 + 4 bits — whether nodes partition the template and the range size
+  (powers of two, 1..512);
+- 1 + 4 bits — whether category history is bounded and the limit
+  (powers of two, 2..65536).
+
+Generational loop exactly as described: fitness is a linear rescaling of
+the replay error into ``[F_min, F_max]`` with ``F_max = 4 F_min``;
+parents are drawn by stochastic sampling with replacement; crossover
+splices whole-template prefixes with one bit-level cut inside the
+boundary templates (respecting the 10-template cap); every child bit
+mutates with probability 0.01; the two best individuals pass to the next
+generation unmutated (elitism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.predictors.replay import replay_prediction_error
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.templates import ESTIMATOR_KINDS, Template
+from repro.utils.rng import rng_from_seed
+from repro.workloads.fields import TEMPLATE_CHARACTERISTICS
+from repro.workloads.job import Trace
+
+__all__ = [
+    "GAConfig",
+    "TemplateGenome",
+    "SearchHistory",
+    "TemplateSearch",
+    "search_templates",
+]
+
+_NODE_EXP_MAX = 9  # range sizes 2^0 .. 2^9 = 1 .. 512
+_HIST_EXP_MAX = 15  # histories 2^1 .. 2^16 = 2 .. 65536
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Knobs of the genetic search."""
+
+    population: int = 24
+    generations: int = 12
+    mutation_rate: float = 0.01
+    max_templates: int = 10
+    fitness_min: float = 1.0  # F_max is fixed at 4*F_min per the paper
+    eval_jobs: int | None = 1000  # cap on fitness-replay length (None = all)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population < 4 or self.population % 2:
+            raise ValueError("population must be an even number >= 4")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 0 <= self.mutation_rate <= 1:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 1 <= self.max_templates <= 10:
+            raise ValueError("max_templates must be in [1, 10]")
+        if self.fitness_min <= 0:
+            raise ValueError("fitness_min must be positive")
+
+
+class TemplateGenome:
+    """Bit-level encoding of one template for a given characteristic list."""
+
+    def __init__(self, chars: tuple[str, ...], has_max_run_time: bool) -> None:
+        for c in chars:
+            if c not in TEMPLATE_CHARACTERISTICS:
+                raise ValueError(f"unknown characteristic {c!r}")
+        self.chars = chars
+        self.has_max_run_time = has_max_run_time
+        self.bits_per_template = 2 + 1 + len(chars) + 1 + 4 + 1 + 4
+
+    # -- encoding ------------------------------------------------------
+    def decode(self, bits: np.ndarray) -> Template:
+        if bits.shape != (self.bits_per_template,):
+            raise ValueError(
+                f"expected {self.bits_per_template} bits, got {bits.shape}"
+            )
+        pos = 0
+
+        def take(n: int) -> np.ndarray:
+            nonlocal pos
+            out = bits[pos : pos + n]
+            pos += n
+            return out
+
+        est_bits = take(2)
+        est_idx = int(est_bits[0]) * 2 + int(est_bits[1])
+        estimator = ESTIMATOR_KINDS[est_idx]
+        relative = bool(take(1)[0]) and self.has_max_run_time
+        enabled = take(len(self.chars))
+        characteristics = tuple(
+            c for c, e in zip(self.chars, enabled) if e
+        )
+        node_flag = bool(take(1)[0])
+        node_exp = min(self._bits_to_int(take(4)), _NODE_EXP_MAX)
+        hist_flag = bool(take(1)[0])
+        hist_exp = min(self._bits_to_int(take(4)), _HIST_EXP_MAX)
+        return Template(
+            characteristics=characteristics,
+            node_range_size=2**node_exp if node_flag else None,
+            max_history=2 ** (hist_exp + 1) if hist_flag else None,
+            relative=relative,
+            estimator=estimator,
+        )
+
+    def encode(self, template: Template) -> np.ndarray:
+        bits = np.zeros(self.bits_per_template, dtype=np.int8)
+        est_idx = ESTIMATOR_KINDS.index(template.estimator)
+        bits[0] = est_idx >> 1
+        bits[1] = est_idx & 1
+        bits[2] = int(template.relative)
+        offset = 3
+        enabled = set(template.characteristics)
+        for i, c in enumerate(self.chars):
+            bits[offset + i] = int(c in enabled)
+        offset += len(self.chars)
+        if template.node_range_size is not None:
+            bits[offset] = 1
+            self._int_to_bits(
+                int(np.log2(template.node_range_size)), bits, offset + 1, 4
+            )
+        offset += 5
+        if template.max_history is not None:
+            bits[offset] = 1
+            self._int_to_bits(
+                int(np.log2(template.max_history)) - 1, bits, offset + 1, 4
+            )
+        return bits
+
+    @staticmethod
+    def _bits_to_int(bits: np.ndarray) -> int:
+        v = 0
+        for b in bits:
+            v = (v << 1) | int(b)
+        return v
+
+    @staticmethod
+    def _int_to_bits(value: int, out: np.ndarray, offset: int, width: int) -> None:
+        for i in range(width):
+            out[offset + width - 1 - i] = (value >> i) & 1
+
+    def random_individual(
+        self, rng: np.random.Generator, max_templates: int
+    ) -> list[np.ndarray]:
+        count = int(rng.integers(1, max_templates + 1))
+        return [
+            rng.integers(0, 2, size=self.bits_per_template).astype(np.int8)
+            for _ in range(count)
+        ]
+
+    def decode_individual(self, individual: list[np.ndarray]) -> list[Template]:
+        return [self.decode(t) for t in individual]
+
+
+@dataclass
+class SearchHistory:
+    """Best error per generation, for convergence inspection."""
+
+    best_errors: list[float] = field(default_factory=list)
+    mean_errors: list[float] = field(default_factory=list)
+
+
+class TemplateSearch:
+    """The generational GA over template sets."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        *,
+        characteristics: tuple[str, ...] | None = None,
+        config: GAConfig | None = None,
+        prediction_workload=None,
+    ) -> None:
+        """``prediction_workload`` switches the fitness function from the
+        submit-time replay to a recorded algorithm-specific request
+        stream (see :mod:`repro.predictors.prediction_workload`) — the
+        paper's per-algorithm/trace search setup.  ``config.eval_jobs``
+        then caps the number of scored requests instead of jobs."""
+        self.trace = trace
+        self.config = config or GAConfig()
+        if characteristics is None:
+            avail = trace.available_fields or frozenset(TEMPLATE_CHARACTERISTICS)
+            characteristics = tuple(
+                c for c in TEMPLATE_CHARACTERISTICS if c in avail
+            )
+        if not characteristics:
+            raise ValueError("no categorical characteristics available to search over")
+        has_max = any(j.max_run_time is not None for j in trace)
+        self.genome = TemplateGenome(characteristics, has_max)
+        self._fitness_cache: dict[tuple, float] = {}
+        self._prediction_workload = prediction_workload
+        if prediction_workload is not None:
+            if self.config.eval_jobs is not None:
+                self._prediction_workload = prediction_workload.subsample(
+                    self.config.eval_jobs
+                )
+            self._eval_trace = trace
+        elif self.config.eval_jobs is not None and self.config.eval_jobs < len(trace):
+            from repro.workloads.transform import head
+
+            self._eval_trace = head(trace, self.config.eval_jobs)
+        else:
+            self._eval_trace = trace
+
+    # -- fitness --------------------------------------------------------
+    def _genome_key(self, individual: list[np.ndarray]) -> tuple:
+        return tuple(tuple(int(b) for b in t) for t in individual)
+
+    def error(self, individual: list[np.ndarray]) -> float:
+        """Mean absolute replay error of an individual (lower is better)."""
+        key = self._genome_key(individual)
+        cached = self._fitness_cache.get(key)
+        if cached is not None:
+            return cached
+        templates = self.genome.decode_individual(individual)
+        predictor = SmithPredictor(templates)
+        if self._prediction_workload is not None:
+            from repro.predictors.prediction_workload import replay_workload_error
+
+            err = replay_workload_error(self._prediction_workload, predictor)
+        else:
+            report = replay_prediction_error(self._eval_trace, predictor)
+            err = report.mean_abs_error
+        self._fitness_cache[key] = err
+        return err
+
+    def _fitnesses(self, errors: np.ndarray) -> np.ndarray:
+        f_min = self.config.fitness_min
+        f_max = 4.0 * f_min
+        e_min, e_max = float(errors.min()), float(errors.max())
+        if e_max <= e_min:
+            return np.full_like(errors, (f_min + f_max) / 2.0)
+        return f_min + (e_max - errors) / (e_max - e_min) * (f_max - f_min)
+
+    # -- operators -------------------------------------------------------
+    def _crossover(
+        self,
+        p1: list[np.ndarray],
+        p2: list[np.ndarray],
+        rng: np.random.Generator,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        b = self.genome.bits_per_template
+        n, m = len(p1), len(p2)
+        cap = self.config.max_templates
+        for _ in range(64):
+            i = int(rng.integers(0, n))
+            j = int(rng.integers(0, m))
+            len1 = i + 1 + (m - j - 1)
+            len2 = j + 1 + (n - i - 1)
+            if 1 <= len1 <= cap and 1 <= len2 <= cap:
+                break
+        else:  # extremely unlikely; splice at the heads
+            i = j = 0
+        p = int(rng.integers(1, b))  # cut strictly inside the template
+        n1 = np.concatenate([p1[i][:p], p2[j][p:]])
+        n2 = np.concatenate([p2[j][:p], p1[i][p:]])
+        child1 = [t.copy() for t in p1[:i]] + [n1] + [t.copy() for t in p2[j + 1 :]]
+        child2 = [t.copy() for t in p2[:j]] + [n2] + [t.copy() for t in p1[i + 1 :]]
+        return child1, child2
+
+    def _mutate(self, individual: list[np.ndarray], rng: np.random.Generator) -> None:
+        rate = self.config.mutation_rate
+        if rate <= 0:
+            return
+        for t in individual:
+            flips = rng.uniform(size=t.shape) < rate
+            t[flips] ^= 1
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> tuple[list[Template], SearchHistory]:
+        cfg = self.config
+        rng = rng_from_seed(cfg.seed)
+        population = [
+            self.genome.random_individual(rng, cfg.max_templates)
+            for _ in range(cfg.population)
+        ]
+        history = SearchHistory()
+        best_individual: list[np.ndarray] | None = None
+        best_error = float("inf")
+        for _gen in range(cfg.generations):
+            errors = np.array([self.error(ind) for ind in population])
+            order = np.argsort(errors)
+            if errors[order[0]] < best_error:
+                best_error = float(errors[order[0]])
+                best_individual = [t.copy() for t in population[int(order[0])]]
+            history.best_errors.append(float(errors[order[0]]))
+            history.mean_errors.append(float(errors.mean()))
+            fitness = self._fitnesses(errors)
+            probs = fitness / fitness.sum()
+            next_pop: list[list[np.ndarray]] = []
+            # Crossover fills all but the two elite slots.
+            while len(next_pop) < cfg.population - 2:
+                i1 = int(rng.choice(cfg.population, p=probs))
+                i2 = int(rng.choice(cfg.population, p=probs))
+                c1, c2 = self._crossover(population[i1], population[i2], rng)
+                self._mutate(c1, rng)
+                self._mutate(c2, rng)
+                next_pop.append(c1)
+                if len(next_pop) < cfg.population - 2:
+                    next_pop.append(c2)
+            # Elitism: the two best survive unmutated.
+            next_pop.append([t.copy() for t in population[int(order[0])]])
+            next_pop.append([t.copy() for t in population[int(order[1])]])
+            population = next_pop
+        assert best_individual is not None
+        return self.genome.decode_individual(best_individual), history
+
+
+def search_templates(
+    trace: Trace,
+    *,
+    config: GAConfig | None = None,
+    characteristics: tuple[str, ...] | None = None,
+) -> tuple[list[Template], SearchHistory]:
+    """Convenience wrapper: run a :class:`TemplateSearch` over ``trace``."""
+    return TemplateSearch(
+        trace, characteristics=characteristics, config=config
+    ).run()

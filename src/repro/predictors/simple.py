@@ -1,0 +1,73 @@
+"""Baseline predictors: actual run times and user-supplied maxima.
+
+- :class:`ActualRuntimePredictor` is the oracle the paper uses as the
+  upper bound in Tables 4 and 10: the prediction *is* the run time.
+- :class:`MaxRuntimePredictor` is the EASY-style baseline (Table 5/11):
+  the user's declared maximum run time.  The SDSC traces record no
+  per-job maxima, so — exactly as the paper does — the maximum for a
+  queue is the longest-running job ever seen in that queue, computed over
+  the whole trace with :meth:`MaxRuntimePredictor.from_trace` (or learned
+  online if no trace is supplied).
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import Prediction, RuntimePredictor
+from repro.workloads.job import Job, Trace
+
+__all__ = ["ActualRuntimePredictor", "MaxRuntimePredictor"]
+
+
+class ActualRuntimePredictor(RuntimePredictor):
+    """The clairvoyant oracle: predicts the exact run time."""
+
+    name = "actual"
+
+    def predict(self, job: Job, elapsed: float = 0.0, now: float = 0.0) -> Prediction:
+        return Prediction(estimate=job.run_time, interval=0.0, source="actual")
+
+
+class MaxRuntimePredictor(RuntimePredictor):
+    """User-supplied maximum run times, with per-queue derivation."""
+
+    name = "max"
+
+    def __init__(self, queue_maxima: dict[str, float] | None = None) -> None:
+        self._queue_maxima: dict[str, float] = dict(queue_maxima or {})
+        self._static = queue_maxima is not None
+        self._global_max = max(self._queue_maxima.values(), default=0.0)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "MaxRuntimePredictor":
+        """Precompute per-queue maxima over the whole trace (paper §3)."""
+        maxima: dict[str, float] = {}
+        for job in trace:
+            if job.queue is not None:
+                maxima[job.queue] = max(maxima.get(job.queue, 0.0), job.run_time)
+        return cls(maxima)
+
+    def on_finish(self, job: Job, now: float) -> None:
+        # Online fallback mode only: learn queue maxima as jobs complete.
+        if self._static or job.queue is None:
+            return
+        self._queue_maxima[job.queue] = max(
+            self._queue_maxima.get(job.queue, 0.0), job.run_time
+        )
+        self._global_max = max(self._global_max, job.run_time)
+
+    def predict(self, job: Job, elapsed: float = 0.0, now: float = 0.0) -> Prediction | None:
+        if job.max_run_time is not None:
+            return Prediction(
+                estimate=job.max_run_time, interval=0.0, source="max:user"
+            )
+        if job.queue is not None and job.queue in self._queue_maxima:
+            return Prediction(
+                estimate=self._queue_maxima[job.queue],
+                interval=0.0,
+                source="max:queue",
+            )
+        if self._global_max > 0.0:
+            return Prediction(
+                estimate=self._global_max, interval=0.0, source="max:global"
+            )
+        return None

@@ -1,0 +1,237 @@
+"""Per-workload template sets discovered by the genetic search.
+
+The paper runs a separate offline GA search per workload and uses the
+best template set found.  These sets were produced the same way against
+the synthetic stand-in workloads (``search_templates`` with population
+16, 10 generations, 600-job fitness replays, seed 0 — the exact command
+is in the module's provenance note below) and are shipped so experiments
+can use searched templates without paying the search cost.
+
+Regenerate with::
+
+    from repro.predictors.ga import GAConfig, search_templates
+    from repro.workloads.archive import load_paper_workload
+    templates, _ = search_templates(
+        load_paper_workload(NAME, n_jobs=1200),
+        config=GAConfig(population=16, generations=10, eval_jobs=600, seed=0),
+    )
+
+Replay errors at discovery time (1200-job traces, minutes of mean
+absolute error): ANL 50.0, CTC 95.1, SDSC95 55.5, SDSC96 67.0 — versus
+curated defaults of roughly 62, 103, 64 and 75 on the same traces.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.templates import Template
+
+__all__ = [
+    "TUNED_TEMPLATES",
+    "TUNED_TEMPLATES_BY_ALGORITHM",
+    "tuned_templates",
+]
+
+TUNED_TEMPLATES: dict[str, tuple[Template, ...]] = {
+    "ANL": (
+        Template(characteristics=("t", "e"), node_range_size=32, estimator="log"),
+        Template(node_range_size=512, max_history=1024, relative=True),
+        Template(characteristics=("t",), node_range_size=512, max_history=256,
+                 relative=True, estimator="inverse"),
+        Template(characteristics=("e", "a"), estimator="log"),
+        Template(characteristics=("t", "a"), max_history=256),
+        Template(characteristics=("e", "a"), node_range_size=128, estimator="log"),
+        Template(characteristics=("t", "u"), node_range_size=8, max_history=4096,
+                 relative=True, estimator="linear"),
+    ),
+    "CTC": (
+        Template(characteristics=("u",), max_history=128, relative=True,
+                 estimator="linear"),
+        Template(characteristics=("u", "s", "na"), max_history=32768,
+                 estimator="linear"),
+        Template(characteristics=("c", "s"), node_range_size=512, max_history=4,
+                 relative=True, estimator="linear"),
+        Template(characteristics=("t", "u", "s", "na"), max_history=2048,
+                 estimator="linear"),
+        Template(characteristics=("t", "c", "u"), max_history=128, relative=True),
+        Template(relative=True, estimator="inverse"),
+        Template(characteristics=("t", "s", "na"), estimator="log"),
+        Template(characteristics=("c",), max_history=128, relative=True),
+    ),
+    "SDSC95": (
+        Template(characteristics=("q",), max_history=2, estimator="linear"),
+        Template(characteristics=("q", "u"), node_range_size=128,
+                 estimator="inverse"),
+        Template(characteristics=("u",), estimator="log"),
+        Template(characteristics=("u",), max_history=32768, estimator="inverse"),
+        Template(characteristics=("q",), node_range_size=512, max_history=4096),
+        Template(characteristics=("q", "u"), node_range_size=2,
+                 estimator="inverse"),
+        Template(characteristics=("q", "u"), node_range_size=128),
+        Template(characteristics=("q", "u"), estimator="log"),
+        Template(characteristics=("u",), node_range_size=512, max_history=32768,
+                 estimator="inverse"),
+    ),
+    "SDSC96": (
+        Template(characteristics=("q", "u"), estimator="linear"),
+        Template(characteristics=("q",), node_range_size=512, max_history=16384,
+                 estimator="log"),
+        Template(characteristics=("q",), node_range_size=512, max_history=4096,
+                 estimator="log"),
+    ),
+}
+
+
+#: The paper's full methodology searches one template set per
+#: (workload, scheduling algorithm) pair, fitting against the prediction
+#: request stream that algorithm actually generates (predictions of
+#: waiting jobs for LWF; running + waiting, elapsed-conditioned, for
+#: backfill).  These sets came from ``TemplateSearch(...,
+#: prediction_workload=record_prediction_workload(trace, algo))`` with
+#: the same budget as above (population 16, 8 generations, 600-request
+#: fitness streams, seed 0).
+TUNED_TEMPLATES_BY_ALGORITHM: dict[tuple[str, str], tuple[Template, ...]] = {
+    # ANL/lwf: recorded-stream error 71.5 min
+    ("ANL", "lwf"): (
+        Template(characteristics=("t", "e", "a"), estimator="log"),
+        Template(node_range_size=256, relative=True, estimator="inverse"),
+        Template(characteristics=("t", "e"), node_range_size=512, relative=True,
+                 estimator="inverse"),
+        Template(characteristics=("t", "u"), max_history=16, estimator="linear"),
+        Template(characteristics=("e", "a"), node_range_size=512,
+                 estimator="inverse"),
+        Template(characteristics=("t", "u", "a"), node_range_size=512,
+                 relative=True, estimator="log"),
+        Template(characteristics=("t", "u", "a"), node_range_size=512,
+                 estimator="inverse"),
+        Template(characteristics=("t", "a"), node_range_size=512,
+                 estimator="inverse"),
+    ),
+    # ANL/backfill: recorded-stream error 73.5 min
+    ("ANL", "backfill"): (
+        Template(characteristics=("u", "e"), node_range_size=256, max_history=256,
+                 relative=True, estimator="inverse"),
+        Template(characteristics=("u",), node_range_size=512, max_history=512,
+                 estimator="log"),
+        Template(characteristics=("t",), relative=True, estimator="log"),
+        Template(characteristics=("u",), relative=True, estimator="linear"),
+        Template(characteristics=("t", "e", "a")),
+        Template(characteristics=("t", "a"), node_range_size=32, relative=True),
+        Template(characteristics=("t", "a"), node_range_size=128, relative=True),
+        Template(characteristics=("t", "u", "e"), relative=True),
+        Template(characteristics=("t",), node_range_size=8, max_history=256,
+                 relative=True, estimator="inverse"),
+    ),
+    # CTC/lwf: recorded-stream error 66.8 min
+    ("CTC", "lwf"): (
+        Template(characteristics=("c", "u", "s"), node_range_size=512,
+                 max_history=16384),
+        Template(characteristics=("c",), max_history=64, estimator="linear"),
+        Template(characteristics=("t", "u"), max_history=32768, relative=True,
+                 estimator="linear"),
+        Template(characteristics=("t",), node_range_size=1, max_history=32,
+                 estimator="inverse"),
+        Template(characteristics=("t", "c", "u", "na"), node_range_size=4,
+                 max_history=2048, estimator="linear"),
+        Template(characteristics=("t", "c"), node_range_size=128,
+                 estimator="log"),
+        Template(characteristics=("t", "u", "s", "na"), max_history=8192,
+                 relative=True),
+        Template(characteristics=("c",), max_history=32, relative=True),
+    ),
+    # CTC/backfill: recorded-stream error 125.1 min
+    ("CTC", "backfill"): (
+        Template(characteristics=("c", "u", "na"), node_range_size=128,
+                 relative=True, estimator="inverse"),
+        Template(characteristics=("t",), node_range_size=512, relative=True,
+                 estimator="linear"),
+        Template(characteristics=("na",), node_range_size=512, max_history=64,
+                 relative=True, estimator="log"),
+        Template(characteristics=("na",), node_range_size=512, relative=True),
+        Template(characteristics=("c", "u"), max_history=64, relative=True),
+        Template(characteristics=("c", "u", "s"), node_range_size=512),
+        Template(characteristics=("c", "u"), max_history=65536, relative=True),
+        Template(characteristics=("s",), max_history=8, estimator="inverse"),
+        Template(characteristics=("s", "na"), max_history=8192, relative=True),
+        Template(characteristics=("s", "na"), node_range_size=512, relative=True),
+    ),
+    # SDSC95/lwf: recorded-stream error 49.4 min
+    ("SDSC95", "lwf"): (
+        Template(characteristics=("q",), max_history=2, estimator="linear"),
+        Template(characteristics=("u",), node_range_size=8, max_history=32,
+                 estimator="inverse"),
+        Template(characteristics=("q", "u"), max_history=16, estimator="inverse"),
+        Template(characteristics=("u",), max_history=64),
+        Template(characteristics=("q",), node_range_size=512, max_history=4096,
+                 estimator="linear"),
+    ),
+    # SDSC95/backfill: recorded-stream error 84.9 min
+    ("SDSC95", "backfill"): (
+        Template(characteristics=("u",), node_range_size=32, max_history=65536),
+        Template(characteristics=("q", "u"), node_range_size=8,
+                 estimator="inverse"),
+        Template(characteristics=("q", "u"), node_range_size=16, max_history=4096,
+                 estimator="log"),
+        Template(characteristics=("q",), estimator="log"),
+        Template(max_history=16384, estimator="linear"),
+        Template(characteristics=("u",), max_history=128, estimator="log"),
+        Template(characteristics=("q",), node_range_size=256),
+        Template(characteristics=("u",), node_range_size=8, max_history=16,
+                 estimator="log"),
+    ),
+    # SDSC96/lwf: recorded-stream error 140.4 min
+    ("SDSC96", "lwf"): (
+        Template(characteristics=("u",), node_range_size=32, max_history=65536),
+        Template(characteristics=("q", "u"), node_range_size=512),
+        Template(characteristics=("q", "u"), node_range_size=16, max_history=4096,
+                 estimator="log"),
+        Template(characteristics=("q", "u"), node_range_size=8, estimator="log"),
+        Template(characteristics=("q", "u"), node_range_size=16, max_history=16,
+                 estimator="log"),
+        Template(characteristics=("q",), node_range_size=16, max_history=4096,
+                 estimator="inverse"),
+        Template(characteristics=("q",), estimator="log"),
+        Template(estimator="linear"),
+        Template(characteristics=("u",), max_history=16384, estimator="log"),
+    ),
+    # SDSC96/backfill: recorded-stream error 94.5 min
+    ("SDSC96", "backfill"): (
+        Template(characteristics=("q",), node_range_size=2, max_history=65536,
+                 estimator="linear"),
+        Template(characteristics=("q",), node_range_size=512, max_history=256,
+                 estimator="log"),
+        Template(characteristics=("u",)),
+        Template(characteristics=("q", "u"), node_range_size=64, estimator="log"),
+        Template(characteristics=("q", "u"), estimator="log"),
+        Template(characteristics=("q",), node_range_size=512, estimator="log"),
+        Template(characteristics=("u",), node_range_size=8, max_history=32,
+                 estimator="linear"),
+        Template(characteristics=("q",), node_range_size=512, max_history=512,
+                 estimator="inverse"),
+        Template(characteristics=("q",), max_history=1024),
+        Template(characteristics=("u",), node_range_size=4, max_history=65536,
+                 estimator="log"),
+    ),
+}
+
+
+def tuned_templates(
+    workload: str, algorithm: str | None = None
+) -> tuple[Template, ...]:
+    """Searched template set for a paper workload (KeyError if unknown).
+
+    With ``algorithm`` ("lwf" or "backfill") the per-algorithm set —
+    searched against that algorithm's recorded prediction stream — is
+    returned, falling back to the workload-level set for algorithms
+    without one (e.g. "fcfs", which issues no predictions).
+    """
+    if algorithm is not None:
+        per_algo = TUNED_TEMPLATES_BY_ALGORITHM.get((workload, algorithm))
+        if per_algo is not None:
+            return per_algo
+    try:
+        return TUNED_TEMPLATES[workload]
+    except KeyError:
+        raise KeyError(
+            f"no tuned template set for workload {workload!r}; "
+            f"available: {sorted(TUNED_TEMPLATES)}"
+        ) from None

@@ -1,0 +1,63 @@
+"""Event-driven space-sharing scheduler simulator.
+
+This package is the substrate the paper's experiments run on: a machine
+with ``total_nodes`` identical nodes, a submission queue, and a pluggable
+scheduling policy (FCFS / LWF / backfill) that consults a pluggable
+run-time estimator.  The same engine serves two roles:
+
+- **trace replay** (:class:`Simulator.run`): process a whole workload and
+  record per-job start/finish times, wait times and utilization;
+- **forward simulation** (:func:`repro.scheduler.simulator.forward_simulate`):
+  start from a snapshot of running/queued jobs with *predicted* run times
+  and no future arrivals, and determine when a particular job would start
+  — the paper's wait-time prediction technique (§3).
+"""
+
+from repro.scheduler.cluster import NodePool
+from repro.scheduler.events import EventQueue, FINISH, RES_END, RES_START, SUBMIT
+from repro.scheduler.metrics import JobRecord, ScheduleResult
+from repro.scheduler.reservations import Reservation, ReservationRecord
+from repro.scheduler.simulator import (
+    PendingReservation,
+    QueuedJob,
+    RunningJob,
+    SchedulerView,
+    Simulator,
+    SystemSnapshot,
+    forward_simulate,
+)
+from repro.scheduler.policies import (
+    BackfillPolicy,
+    EASYBackfillPolicy,
+    FCFSPolicy,
+    LWFPolicy,
+    Policy,
+)
+from repro.scheduler.validate import ValidationReport, validate_schedule
+
+__all__ = [
+    "NodePool",
+    "EventQueue",
+    "SUBMIT",
+    "FINISH",
+    "RES_START",
+    "RES_END",
+    "JobRecord",
+    "ScheduleResult",
+    "Reservation",
+    "ReservationRecord",
+    "PendingReservation",
+    "QueuedJob",
+    "RunningJob",
+    "SchedulerView",
+    "Simulator",
+    "SystemSnapshot",
+    "forward_simulate",
+    "Policy",
+    "FCFSPolicy",
+    "LWFPolicy",
+    "BackfillPolicy",
+    "EASYBackfillPolicy",
+    "ValidationReport",
+    "validate_schedule",
+]

@@ -1,0 +1,59 @@
+"""Node pool accounting for a space-shared machine.
+
+The machines in the paper (SP2s, a Paragon) are space-shared: a job gets a
+dedicated set of nodes for its whole run.  Only the *count* of free nodes
+matters to the scheduling algorithms studied, so the pool tracks counts,
+not identities.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NodePool"]
+
+
+class NodePool:
+    """A counted pool of identical nodes."""
+
+    def __init__(self, total: int) -> None:
+        if total < 1:
+            raise ValueError(f"total nodes must be >= 1, got {total}")
+        self._total = total
+        self._free = total
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def free(self) -> int:
+        return self._free
+
+    @property
+    def busy(self) -> int:
+        return self._total - self._free
+
+    def fits(self, nodes: int) -> bool:
+        """True if ``nodes`` nodes are currently free."""
+        return 0 < nodes <= self._free
+
+    def allocate(self, nodes: int) -> None:
+        if nodes < 1:
+            raise ValueError(f"cannot allocate {nodes} nodes")
+        if nodes > self._free:
+            raise RuntimeError(
+                f"allocation of {nodes} nodes exceeds {self._free} free"
+            )
+        self._free -= nodes
+
+    def release(self, nodes: int) -> None:
+        if nodes < 1:
+            raise ValueError(f"cannot release {nodes} nodes")
+        if self._free + nodes > self._total:
+            raise RuntimeError(
+                f"release of {nodes} nodes exceeds capacity "
+                f"({self._free} free of {self._total})"
+            )
+        self._free += nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodePool(free={self._free}/{self._total})"

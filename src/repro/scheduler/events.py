@@ -1,0 +1,67 @@
+"""Typed event heap for the simulator.
+
+Event kinds, in same-instant processing order:
+
+1. job completions (``FINISH``) and reservation expiries (``RES_END``)
+   — releases first, so freed nodes are visible to everything else at
+   the same instant;
+2. reservation activations (``RES_START``) — advance reservations claim
+   their nodes before the scheduler considers queued jobs;
+3. job submissions (``SUBMIT``).
+
+This is the convention real batch schedulers follow and the one that
+makes wait-time prediction at submit time well defined.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterator
+
+__all__ = ["FINISH", "RES_END", "RES_START", "SUBMIT", "EventQueue"]
+
+#: Event kind priorities; lower sorts first at equal timestamps.
+FINISH = 0
+RES_END = 1
+RES_START = 2
+SUBMIT = 3
+
+_KINDS = (FINISH, RES_END, RES_START, SUBMIT)
+
+
+class EventQueue:
+    """A heap of ``(time, kind, seq, payload)`` events.
+
+    ``seq`` is a monotonically increasing tiebreaker so equal-time,
+    equal-kind events pop in insertion order and the simulation is fully
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Any]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: int, payload: Any) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown event kind {kind}")
+        heapq.heappush(self._heap, (time, kind, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, int, Any]:
+        time, kind, _, payload = heapq.heappop(self._heap)
+        return time, kind, payload
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain(self) -> Iterator[tuple[float, int, Any]]:
+        """Pop events until empty (used by tests)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,16 @@
+"""Scheduling policies: FCFS, least-work-first, conservative backfill."""
+
+from repro.scheduler.policies.base import Policy
+from repro.scheduler.policies.fcfs import FCFSPolicy
+from repro.scheduler.policies.lwf import LWFPolicy
+from repro.scheduler.policies.backfill import BackfillPolicy, AvailabilityProfile
+from repro.scheduler.policies.easy import EASYBackfillPolicy
+
+__all__ = [
+    "Policy",
+    "FCFSPolicy",
+    "LWFPolicy",
+    "BackfillPolicy",
+    "EASYBackfillPolicy",
+    "AvailabilityProfile",
+]

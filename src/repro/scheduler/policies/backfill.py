@@ -1,0 +1,184 @@
+"""Conservative backfill.
+
+The paper's backfill (§2.1) is the conservative variant: the scheduler
+walks the queue in arrival order; a job that fits *and* would not delay
+any job ahead of it starts immediately, and every job that cannot start
+is given a reservation at the earliest time the availability profile
+admits it.  Reservations exist only to protect earlier arrivals from
+later ones — a reserved job may still start before its reservation when
+jobs finish early, because the whole profile is rebuilt from scratch at
+every scheduling pass from the *current* estimates.
+
+The availability profile is a step function of free nodes over future
+time, seeded from the estimated remaining run times of the running jobs.
+Estimate quality therefore matters much more here than for LWF: a hole in
+the profile is only as real as the estimates that shaped it (§4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.scheduler.policies.base import Policy
+
+__all__ = ["AvailabilityProfile", "BackfillPolicy"]
+
+_INF = math.inf
+
+
+class AvailabilityProfile:
+    """Free-node count as a step function of time.
+
+    Maintained as parallel arrays ``times`` / ``free`` where ``free[i]``
+    holds on ``[times[i], times[i+1])`` and the last segment extends to
+    infinity.  Supports the two operations backfill needs: find the
+    earliest start for an ``(nodes, duration)`` request, and carve a
+    committed allocation out of the profile.
+    """
+
+    def __init__(self, start_time: float, free_nodes: int, total_nodes: int) -> None:
+        if not 0 <= free_nodes <= total_nodes:
+            raise ValueError(
+                f"free_nodes {free_nodes} outside [0, {total_nodes}]"
+            )
+        self.total_nodes = total_nodes
+        self.times: list[float] = [start_time]
+        self.free: list[int] = [free_nodes]
+
+    def add_release(self, time: float, nodes: int) -> None:
+        """Record ``nodes`` becoming free at ``time`` (a running job ending)."""
+        if nodes <= 0:
+            raise ValueError(f"release of {nodes} nodes")
+        time = max(time, self.times[0])
+        i = self._ensure_breakpoint(time)
+        for j in range(i, len(self.free)):
+            self.free[j] += nodes
+            if self.free[j] > self.total_nodes:
+                raise RuntimeError("availability profile exceeds machine capacity")
+
+    def _ensure_breakpoint(self, time: float) -> int:
+        """Insert a breakpoint at ``time`` if absent; return its index."""
+        import bisect
+
+        i = bisect.bisect_left(self.times, time)
+        if i < len(self.times) and self.times[i] == time:
+            return i
+        if i == 0:
+            raise ValueError(f"time {time} precedes profile start {self.times[0]}")
+        self.times.insert(i, time)
+        self.free.insert(i, self.free[i - 1])
+        return i
+
+    def earliest_start(
+        self, nodes: int, duration: float, *, not_before: float | None = None
+    ) -> float:
+        """Earliest time ``nodes`` nodes stay free for ``duration``.
+
+        Scans anchor candidates (segment starts, or ``not_before`` inside
+        a segment); always succeeds inside the backfill policy because
+        the final segment has all running jobs finished.  ``not_before``
+        floors the result — FCFS-style in-order planning uses it to keep
+        start times monotone in arrival order.
+        """
+        if nodes > self.total_nodes:
+            raise ValueError(
+                f"request for {nodes} nodes exceeds machine size {self.total_nodes}"
+            )
+        if duration < 0:
+            raise ValueError(f"negative duration {duration}")
+        n = len(self.times)
+        floor = self.times[0] if not_before is None else max(not_before, self.times[0])
+        i = 0
+        while i < n:
+            anchor = max(self.times[i], floor)
+            if i + 1 < n and self.times[i + 1] <= anchor:
+                i += 1
+                continue
+            if self.free[i] < nodes:
+                i += 1
+                continue
+            end = anchor + duration
+            ok = True
+            j = i + 1
+            while j < n and self.times[j] < end:
+                if self.free[j] < nodes:
+                    ok = False
+                    # Restart the scan at the first segment after the
+                    # violation — nothing between can host the anchor.
+                    i = j + 1
+                    break
+                j += 1
+            if ok:
+                return anchor
+        raise RuntimeError("no feasible start found (profile never clears)")
+
+    def carve(
+        self, start: float, duration: float, nodes: int, *, clamp: bool = False
+    ) -> None:
+        """Commit an allocation of ``nodes`` over ``[start, start+duration)``.
+
+        With ``clamp=True`` free counts floor at zero instead of raising
+        — used for advance reservations, whose windows may conflict with
+        the *estimated* occupancy of running jobs without being wrong
+        (estimates are beliefs; the reservation will simply wait).
+        """
+        if duration <= 0:
+            return
+        end = start + duration
+        i = self._ensure_breakpoint(start)
+        j = self._ensure_breakpoint(end) if math.isfinite(end) else len(self.times)
+        for k in range(i, j):
+            self.free[k] -= nodes
+            if self.free[k] < 0:
+                if clamp:
+                    self.free[k] = 0
+                else:
+                    raise RuntimeError("profile carve went negative: overcommitted")
+
+    def free_at(self, time: float) -> int:
+        """Free nodes at ``time`` (for tests/inspection)."""
+        import bisect
+
+        i = bisect.bisect_right(self.times, time) - 1
+        if i < 0:
+            raise ValueError(f"time {time} precedes profile start")
+        return self.free[i]
+
+
+class BackfillPolicy(Policy):
+    """Conservative backfill: every queued job holds a profile reservation."""
+
+    name = "Backfill"
+
+    #: Floor on estimated durations when carving reservations; avoids
+    #: zero-length holes from degenerate estimates.  Kept equal to the
+    #: simulator's minimum run time so a forward simulation over
+    #: predicted durations is a fixed point of this policy's replanning
+    #: (see repro.waitpred.fast).
+    min_duration: float = 1e-6
+
+    def select(self, view) -> Sequence:
+        profile = AvailabilityProfile(view.now, view.free_nodes, view.total_nodes)
+        for rj in view.running:
+            profile.add_release(view.now + view.remaining(rj), rj.job.nodes)
+        # Reservations currently holding nodes release at known times.
+        for ares in getattr(view, "active_reservations", ()):
+            profile.add_release(max(ares.end_time, view.now), ares.nodes)
+        # Advance reservations (if the simulator carries any) are carved
+        # out first so no queued job is planned into their windows.
+        for pres in getattr(view, "reservations", ()):
+            profile.carve(
+                max(pres.effective_start, view.now),
+                pres.duration,
+                pres.nodes,
+                clamp=True,
+            )
+        started = []
+        for qj in view.queued:  # arrival order
+            duration = max(view.estimate(qj), self.min_duration)
+            start = profile.earliest_start(qj.job.nodes, duration)
+            profile.carve(start, duration, qj.job.nodes)
+            if start <= view.now:
+                started.append(qj)
+        return started

@@ -1,0 +1,37 @@
+"""Policy interface.
+
+A policy is consulted once per scheduling pass (any submission or
+completion triggers a pass) and returns the queued jobs to start *now*,
+in start order.  It must account for node capacity itself while selecting
+— the simulator starts exactly what the policy returns and will raise if
+the selections overcommit the pool.
+
+Run-time estimates are obtained through the :class:`SchedulerView` the
+simulator passes in; the view consults whatever run-time estimator the
+simulation was configured with, so the same policy code runs with actual
+run times, user maxima, or any historical predictor (paper §4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.scheduler.simulator import QueuedJob, SchedulerView
+
+__all__ = ["Policy"]
+
+
+class Policy(ABC):
+    """A queue-ordering / backfilling discipline."""
+
+    #: Short name used in result tables ("FCFS", "LWF", "Backfill").
+    name: str = "policy"
+
+    @abstractmethod
+    def select(self, view: "SchedulerView") -> "Sequence[QueuedJob]":
+        """Return the queued jobs to start now, in start order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

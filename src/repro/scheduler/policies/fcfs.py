@@ -1,0 +1,33 @@
+"""First-come first-served.
+
+Jobs receive resources strictly in arrival order: the head of the queue
+starts whenever enough nodes are free, and nothing behind a blocked head
+may start (paper §2.1).  FCFS never consults run-time estimates, which is
+why the paper's Tables 10-15 omit it from the predictor-sensitivity
+comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.scheduler.policies.base import Policy
+
+__all__ = ["FCFSPolicy"]
+
+
+class FCFSPolicy(Policy):
+    """First-come first-served: strict arrival order, head-of-line blocking."""
+
+    name = "FCFS"
+
+    def select(self, view) -> Sequence:
+        free = view.free_nodes
+        started = []
+        for qj in view.queued:  # arrival order
+            if qj.job.nodes <= free:
+                started.append(qj)
+                free -= qj.job.nodes
+            else:
+                break
+        return started

@@ -1,0 +1,47 @@
+"""Least-work-first.
+
+LWF orders the queue by increasing *estimated work* — requested nodes
+multiplied by the estimated wall-clock run time (paper §2.1) — and starts
+every job that fits, taken in that order.  Unlike FCFS it does not block
+behind a job that cannot run: small-work jobs flow around a stalled large
+one (this greedy variant is what lets the paper's LWF reach the same
+utilization as backfill in Tables 10-15 while posting lower mean waits;
+a blocking variant idles the machine whenever the least-work job is
+wide).  The reordering itself is the entire mechanism, which is why the
+paper finds LWF only needs to know whether a job is "big" or "small" and
+tolerates coarse estimates (§4).
+
+Ties in estimated work break by arrival order, then job id, so replays
+are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.scheduler.policies.base import Policy
+
+__all__ = ["LWFPolicy"]
+
+
+class LWFPolicy(Policy):
+    """Least-work-first: start every fitting job in ascending estimated-work order."""
+
+    name = "LWF"
+
+    def select(self, view) -> Sequence:
+        order = sorted(
+            view.queued,
+            key=lambda qj: (
+                qj.job.nodes * view.estimate(qj),
+                qj.job.submit_time,
+                qj.job.job_id,
+            ),
+        )
+        free = view.free_nodes
+        started = []
+        for qj in order:
+            if qj.job.nodes <= free:
+                started.append(qj)
+                free -= qj.job.nodes
+        return started

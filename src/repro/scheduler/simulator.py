@@ -1,0 +1,551 @@
+"""The event-driven scheduling simulator.
+
+One engine serves both of the paper's uses:
+
+- :meth:`Simulator.run` replays a whole trace under a policy and a
+  run-time estimator, producing a :class:`~repro.scheduler.metrics.ScheduleResult`;
+- :func:`forward_simulate` takes a :class:`SystemSnapshot` (the running
+  and queued jobs at some instant), replaces every unknown run time with
+  a predictor's estimate, and plays the schedule forward *with no future
+  arrivals* to find when a given job starts — the paper's queue wait-time
+  prediction technique (§3).
+
+Estimator protocol
+------------------
+Any object with ``predict(job, elapsed, now) -> float`` works as an
+estimator; ``elapsed`` is how long the job has been running (0.0 for
+queued jobs).  Optional lifecycle hooks ``on_submit(job, now)``,
+``on_start(job, now)`` and ``on_finish(job, now)`` are called if present
+— the historical predictors use ``on_finish`` to grow their category
+databases.  The same protocol is shared by observers (used for wait-time
+evaluation), whose hooks additionally receive the live view.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.scheduler.cluster import NodePool
+from repro.scheduler.events import FINISH, RES_END, RES_START, SUBMIT, EventQueue
+from repro.scheduler.metrics import JobRecord, ScheduleResult
+from repro.scheduler.policies.base import Policy
+from repro.scheduler.reservations import Reservation, ReservationRecord
+from repro.workloads.job import Job, Trace
+
+__all__ = [
+    "QueuedJob",
+    "RunningJob",
+    "PendingReservation",
+    "SchedulerView",
+    "SystemSnapshot",
+    "Simulator",
+    "FrozenEstimator",
+    "forward_simulate",
+]
+
+#: Smallest duration/remaining-time an estimate may collapse to, so the
+#: schedule never stalls on a zero or negative estimate.
+_EPS = 1e-6
+
+
+@runtime_checkable
+class RuntimeEstimator(Protocol):
+    """Structural type for scheduler-side run-time estimators."""
+
+    def predict(self, job: Job, elapsed: float, now: float) -> float: ...
+
+
+@dataclass(frozen=True)
+class QueuedJob:
+    """A job waiting in the queue."""
+
+    job: Job
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+
+@dataclass(frozen=True)
+class RunningJob:
+    """A job currently holding nodes."""
+
+    job: Job
+    start_time: float
+
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    def elapsed(self, now: float) -> float:
+        return now - self.start_time
+
+
+@dataclass(frozen=True)
+class ActiveReservation:
+    """A reservation currently holding nodes, with its known end time."""
+
+    reservation: Reservation
+    end_time: float
+
+    @property
+    def nodes(self) -> int:
+        return self.reservation.nodes
+
+
+@dataclass(frozen=True)
+class PendingReservation:
+    """A not-yet-active reservation as policies see it.
+
+    ``effective_start`` is the promised start for future reservations,
+    or *now* for reservations already past their start and waiting for
+    nodes (they will claim capacity the instant it frees).
+    """
+
+    reservation: Reservation
+    effective_start: float
+
+    @property
+    def nodes(self) -> int:
+        return self.reservation.nodes
+
+    @property
+    def duration(self) -> float:
+        return self.reservation.duration
+
+
+class SchedulerView:
+    """What a policy (or observer) may see of the simulator state.
+
+    Estimates are memoized per scheduling pass: the paper's algorithms
+    re-predict all jobs on every pass, and within one pass each job's
+    estimate must be consistent across the policy's comparisons.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._cache: dict[int, float] = {}
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    @property
+    def free_nodes(self) -> int:
+        return self._sim.pool.free
+
+    @property
+    def total_nodes(self) -> int:
+        return self._sim.pool.total
+
+    @property
+    def queued(self) -> Sequence[QueuedJob]:
+        """Waiting jobs in arrival order."""
+        return self._sim.queued
+
+    @property
+    def running(self) -> Sequence[RunningJob]:
+        return self._sim.running
+
+    @property
+    def active_reservations(self) -> Sequence[ActiveReservation]:
+        """Reservations currently holding nodes (they release at known
+        times, which reservation-aware policies fold into their
+        availability profiles like running jobs)."""
+        return tuple(self._sim.active_reservations)
+
+    @property
+    def reservations(self) -> Sequence[PendingReservation]:
+        """Advance reservations not yet holding nodes, soonest first.
+
+        Reservation-aware policies (backfill) carve these out of their
+        availability profiles; myopic policies ignore them and any
+        resulting collision shows up as reservation delay.
+        """
+        out = [
+            PendingReservation(r, self._sim.now)
+            for r in self._sim.waiting_reservations
+        ]
+        out.extend(
+            PendingReservation(r, r.start_time)
+            for r in self._sim.pending_reservations
+        )
+        out.sort(key=lambda p: (p.effective_start, p.reservation.res_id))
+        return tuple(out)
+
+    def estimate(self, qj: QueuedJob) -> float:
+        """Estimated total run time of a queued job (>= tiny epsilon)."""
+        est = self._cache.get(qj.job_id)
+        if est is None:
+            est = self._sim.estimator.predict(qj.job, 0.0, self.now)
+            est = max(float(est), _EPS)
+            self._cache[qj.job_id] = est
+        return est
+
+    def remaining(self, rj: RunningJob) -> float:
+        """Estimated remaining run time of a running job (>= epsilon).
+
+        The total estimate is conditioned on the elapsed time and clamped
+        to at least the elapsed time — a job that has run ``a`` seconds
+        cannot finish before ``a`` (§2 corrected semantics).
+        """
+        elapsed = rj.elapsed(self.now)
+        est = self._cache.get(rj.job_id)
+        if est is None:
+            est = float(self._sim.estimator.predict(rj.job, elapsed, self.now))
+            self._cache[rj.job_id] = est
+        return max(est - elapsed, _EPS)
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+
+@dataclass(frozen=True)
+class SystemSnapshot:
+    """The scheduler state at one instant, as wait-time prediction needs it."""
+
+    now: float
+    running: tuple[RunningJob, ...]
+    queued: tuple[QueuedJob, ...]
+    total_nodes: int
+
+
+class Simulator:
+    """Replay a trace under a policy with a pluggable run-time estimator."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        estimator: RuntimeEstimator,
+        total_nodes: int,
+    ) -> None:
+        self.policy = policy
+        self.estimator = estimator
+        self.pool = NodePool(total_nodes)
+        self.now = 0.0
+        self.queued: list[QueuedJob] = []
+        self.running: list[RunningJob] = []
+        self._events = EventQueue()
+        self._records: list[JobRecord] = []
+        self._started: dict[int, float] = {}
+        self._observers: list[object] = []
+        self.pending_reservations: list[Reservation] = []
+        self.waiting_reservations: list[Reservation] = []
+        self.active_reservations: list[ActiveReservation] = []
+        self.reservation_records: list[ReservationRecord] = []
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: object) -> None:
+        """Attach an observer receiving on_submit/on_start/on_finish hooks."""
+        self._observers.append(observer)
+
+    def load_trace(self, trace: Trace) -> None:
+        if self.pool.total != trace.total_nodes:
+            raise ValueError(
+                f"simulator built for {self.pool.total} nodes but trace "
+                f"declares {trace.total_nodes}"
+            )
+        for job in trace:
+            self._events.push(job.submit_time, SUBMIT, job)
+
+    def add_reservations(self, reservations: Iterable[Reservation]) -> None:
+        """Register advance reservations (before or during :meth:`run`).
+
+        Each reservation claims its nodes at its start time — or, if the
+        machine is too busy then, the instant enough nodes free up,
+        ahead of any queued job.  Outcomes land in
+        :attr:`reservation_records`.
+        """
+        for res in reservations:
+            if res.nodes > self.pool.total:
+                raise ValueError(
+                    f"reservation {res.res_id} wants {res.nodes} nodes on a "
+                    f"{self.pool.total}-node machine"
+                )
+            if res.start_time < self.now:
+                raise ValueError(
+                    f"reservation {res.res_id} starts in the past "
+                    f"({res.start_time} < {self.now})"
+                )
+            self.pending_reservations.append(res)
+            self._events.push(res.start_time, RES_START, res)
+
+    def load_snapshot(self, snapshot: SystemSnapshot) -> None:
+        """Initialize mid-flight state for a forward simulation.
+
+        Running jobs are re-admitted with their original start times and
+        finish events at ``now + job.run_time - elapsed`` (callers replace
+        ``run_time`` with predictions first); queued jobs enter the queue
+        in their original arrival order.
+        """
+        self.now = snapshot.now
+        for rj in snapshot.running:
+            self.pool.allocate(rj.job.nodes)
+            self.running.append(rj)
+            self._started[rj.job_id] = rj.start_time
+            remaining = max(rj.job.run_time - rj.elapsed(snapshot.now), _EPS)
+            self._events.push(snapshot.now + remaining, FINISH, rj)
+        for qj in snapshot.queued:
+            self.queued.append(qj)
+
+    def snapshot(self) -> SystemSnapshot:
+        """Capture the current running/queued state."""
+        return SystemSnapshot(
+            now=self.now,
+            running=tuple(self.running),
+            queued=tuple(self.queued),
+            total_nodes=self.pool.total,
+        )
+
+    # ------------------------------------------------------------------
+    # engine
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Trace | None = None,
+        *,
+        until_started: int | None = None,
+        until_time: float | None = None,
+    ) -> ScheduleResult:
+        """Process all events; return the schedule.
+
+        With ``until_started`` the simulation stops as soon as that job id
+        begins executing (used by forward simulation, where nothing after
+        the target's start matters).  With ``until_time`` it stops before
+        processing any event past that instant, leaving live mid-flight
+        state (running jobs, a populated queue) — call :meth:`run` again
+        to continue.
+        """
+        if trace is not None:
+            self.load_trace(trace)
+        while self._events:
+            t = self._events.peek_time()
+            assert t is not None
+            if until_time is not None and t > until_time:
+                self.now = max(self.now, until_time)
+                return self.result()
+            if t < self.now - 1e-9:
+                raise RuntimeError(f"time went backwards: {t} < {self.now}")
+            self.now = max(self.now, t)
+            # Drain every event at this instant (finishes first) so the
+            # scheduling pass sees the complete state.
+            while self._events and self._events.peek_time() == t:
+                _, kind, payload = self._events.pop()
+                if kind == FINISH:
+                    self._handle_finish(payload)
+                elif kind == RES_END:
+                    self._handle_reservation_end(payload)
+                elif kind == RES_START:
+                    self._handle_reservation_start(payload)
+                else:
+                    self._handle_submit(payload)
+            self._activate_waiting_reservations()
+            started = self._schedule_pass()
+            if until_started is not None and any(
+                qj.job_id == until_started for qj in started
+            ):
+                return self.result()
+        return self.result()
+
+    def result(self) -> ScheduleResult:
+        return ScheduleResult(self._records, total_nodes=self.pool.total)
+
+    @property
+    def started_times(self) -> dict[int, float]:
+        """job_id -> start time for every job started so far."""
+        return dict(self._started)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _handle_submit(self, job: Job) -> None:
+        qj = QueuedJob(job)
+        self.queued.append(qj)
+        self._notify_estimator("on_submit", job)
+        view = SchedulerView(self)
+        for obs in self._observers:
+            hook = getattr(obs, "on_submit", None)
+            if hook is not None:
+                hook(view, qj)
+
+    def _handle_finish(self, rj: RunningJob) -> None:
+        try:
+            self.running.remove(rj)
+        except ValueError:
+            raise RuntimeError(f"finish event for job {rj.job_id} not running")
+        self.pool.release(rj.job.nodes)
+        self._records.append(
+            JobRecord(
+                job_id=rj.job_id,
+                submit_time=rj.job.submit_time,
+                start_time=rj.start_time,
+                finish_time=self.now,
+                nodes=rj.job.nodes,
+            )
+        )
+        self._notify_estimator("on_finish", rj.job)
+        view = SchedulerView(self)
+        for obs in self._observers:
+            hook = getattr(obs, "on_finish", None)
+            if hook is not None:
+                hook(view, rj.job)
+
+    def _handle_reservation_start(self, res: Reservation) -> None:
+        self.pending_reservations.remove(res)
+        self.waiting_reservations.append(res)
+
+    def _handle_reservation_end(self, active: "ActiveReservation") -> None:
+        self.active_reservations.remove(active)
+        self.pool.release(active.reservation.nodes)
+
+    def _activate_waiting_reservations(self) -> None:
+        """Give due reservations first claim on free nodes."""
+        still_waiting: list[Reservation] = []
+        for res in self.waiting_reservations:
+            if self.pool.free >= res.nodes:
+                self.pool.allocate(res.nodes)
+                active = ActiveReservation(res, self.now + res.duration)
+                self.active_reservations.append(active)
+                self._events.push(active.end_time, RES_END, active)
+                self.reservation_records.append(
+                    ReservationRecord(
+                        res_id=res.res_id,
+                        scheduled_start=res.start_time,
+                        actual_start=self.now,
+                        nodes=res.nodes,
+                        duration=res.duration,
+                    )
+                )
+            else:
+                still_waiting.append(res)
+        self.waiting_reservations = still_waiting
+
+    def _schedule_pass(self) -> list[QueuedJob]:
+        if not self.queued:
+            return []
+        view = SchedulerView(self)
+        selections = list(self.policy.select(view))
+        selected_ids = {qj.job_id for qj in selections}
+        if len(selected_ids) != len(selections):
+            raise RuntimeError(f"{self.policy.name} selected a job twice")
+        for qj in selections:
+            if qj not in self.queued:
+                raise RuntimeError(
+                    f"{self.policy.name} selected job {qj.job_id} not in queue"
+                )
+            self._start(qj)
+        return selections
+
+    def _start(self, qj: QueuedJob) -> None:
+        self.pool.allocate(qj.job.nodes)  # raises if the policy overcommitted
+        self.queued.remove(qj)
+        rj = RunningJob(job=qj.job, start_time=self.now)
+        self.running.append(rj)
+        self._started[qj.job_id] = self.now
+        self._events.push(self.now + max(qj.job.run_time, 0.0), FINISH, rj)
+        self._notify_estimator("on_start", qj.job)
+        view = SchedulerView(self)
+        for obs in self._observers:
+            hook = getattr(obs, "on_start", None)
+            if hook is not None:
+                hook(view, qj.job)
+
+    def _notify_estimator(self, hook_name: str, job: Job) -> None:
+        hook = getattr(self.estimator, hook_name, None)
+        if hook is not None:
+            hook(job, self.now)
+
+
+class FrozenEstimator:
+    """An estimator that returns a fixed prediction per job id.
+
+    Forward simulations freeze the predictions made at the moment of the
+    wait-time query: within the imagined future, the scheduler believes
+    exactly those numbers.
+    """
+
+    def __init__(self, predictions: dict[int, float]) -> None:
+        self._predictions = dict(predictions)
+
+    def predict(self, job: Job, elapsed: float, now: float) -> float:
+        try:
+            return self._predictions[job.job_id]
+        except KeyError:
+            raise KeyError(f"no frozen prediction for job {job.job_id}") from None
+
+
+def forward_simulate(
+    snapshot: SystemSnapshot,
+    policy: Policy,
+    durations: dict[int, float],
+    target_job_id: int,
+    *,
+    estimates: dict[int, float] | None = None,
+) -> float:
+    """Predicted start time of ``target_job_id`` given per-job predictions.
+
+    ``durations`` maps each running/queued job id to a predicted *total*
+    run time, used as the jobs' actual durations inside the simulation
+    (the paper's "using the predicted run times as the run times of the
+    applications", §3).  Running jobs' remaining times are the prediction
+    minus the time already run (floored at ~0); queued jobs run for their
+    full prediction.
+
+    ``estimates`` supplies the run-time estimates the *simulated
+    scheduler* bases its decisions on — these must mirror what the real
+    scheduler uses (user maxima in the paper's §3 setup), not the
+    evaluated predictor, or the imagined backfill reservations diverge
+    from the real ones even with perfect run-time knowledge.  Defaults to
+    ``durations`` (a self-consistent imagined world) when omitted.
+
+    No future arrivals are injected — the paper predicts the wait as of
+    submission, accepting the built-in error later arrivals cause for
+    LWF (§3, Table 4).
+    """
+    if target_job_id not in durations:
+        raise KeyError(f"no prediction supplied for target job {target_job_id}")
+    adj_running = tuple(
+        RunningJob(
+            job=rj.job.with_(
+                run_time=max(
+                    durations[rj.job_id], rj.elapsed(snapshot.now) + _EPS
+                )
+            ),
+            start_time=rj.start_time,
+        )
+        for rj in snapshot.running
+    )
+    adj_queued = tuple(
+        QueuedJob(job=qj.job.with_(run_time=max(durations[qj.job_id], _EPS)))
+        for qj in snapshot.queued
+    )
+    adj_snapshot = SystemSnapshot(
+        now=snapshot.now,
+        running=adj_running,
+        queued=adj_queued,
+        total_nodes=snapshot.total_nodes,
+    )
+    sim = Simulator(
+        policy,
+        FrozenEstimator(estimates if estimates is not None else durations),
+        snapshot.total_nodes,
+    )
+    sim.load_snapshot(adj_snapshot)
+    # The snapshot state may admit immediate starts (e.g. the brand-new
+    # job fits right now); run() performs a pass at the first event, but
+    # an explicit pass at t=now catches starts that need no event at all.
+    sim.now = snapshot.now
+    started = sim._schedule_pass()
+    if any(qj.job_id == target_job_id for qj in started):
+        return snapshot.now
+    sim.run(until_started=target_job_id)
+    start = sim.started_times.get(target_job_id)
+    if start is None:
+        raise RuntimeError(
+            f"forward simulation ended without starting job {target_job_id}"
+        )
+    return start

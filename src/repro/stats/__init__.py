@@ -1,0 +1,41 @@
+"""Statistics substrate: confidence intervals and regression estimators.
+
+The run-time predictors of the paper (Section 2.1) rate each candidate
+category by the width of the confidence interval around its estimate and
+select the tightest one.  This package implements the required machinery
+from first principles on top of NumPy:
+
+- :mod:`repro.stats.ci` — running sample moments and Student-t confidence
+  intervals for a sample mean;
+- :mod:`repro.stats.regression` — linear, inverse, and logarithmic least
+  squares regressions with prediction confidence intervals, plus the
+  variance-weighted linear regression used by Gibbons' predictor.
+"""
+
+from repro.stats.ci import RunningMoments, mean_confidence_interval, t_quantile
+from repro.stats.regression import (
+    RegressionResult,
+    fit_inverse,
+    fit_linear,
+    fit_logarithmic,
+    fit_weighted_linear,
+)
+from repro.stats.bootstrap import (
+    BootstrapInterval,
+    bootstrap_mean,
+    bootstrap_mean_difference,
+)
+
+__all__ = [
+    "RunningMoments",
+    "mean_confidence_interval",
+    "t_quantile",
+    "RegressionResult",
+    "fit_linear",
+    "fit_inverse",
+    "fit_logarithmic",
+    "fit_weighted_linear",
+    "BootstrapInterval",
+    "bootstrap_mean",
+    "bootstrap_mean_difference",
+]

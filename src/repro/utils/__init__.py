@@ -1,0 +1,24 @@
+"""Small shared utilities: deterministic RNG plumbing and time helpers."""
+
+from repro.utils.rng import spawn_rng, rng_from_seed
+from repro.utils.timeutils import (
+    MINUTE,
+    HOUR,
+    DAY,
+    WEEK,
+    format_duration,
+    minutes,
+    seconds_to_minutes,
+)
+
+__all__ = [
+    "spawn_rng",
+    "rng_from_seed",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "format_duration",
+    "minutes",
+    "seconds_to_minutes",
+]

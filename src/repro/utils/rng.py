@@ -1,0 +1,36 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (synthetic workload generation,
+the genetic template search) accepts either an integer seed or a
+:class:`numpy.random.Generator`.  These helpers normalize the two and let a
+parent generator derive independent child streams so that adding a new
+consumer of randomness never perturbs existing streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rng_from_seed", "spawn_rng"]
+
+
+def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh OS entropy), an integer, or an existing
+    generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, *, count: int = 1) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are produced through :meth:`numpy.random.Generator.spawn` so the
+    streams are statistically independent of the parent and each other.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return list(rng.spawn(count))

@@ -1,0 +1,46 @@
+"""Time constants and formatting helpers.
+
+Simulation time throughout the library is a float number of **seconds**
+since the start of the trace.  The paper reports wait times and errors in
+minutes; the helpers here convert and pretty-print.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "minutes",
+    "seconds_to_minutes",
+    "format_duration",
+]
+
+MINUTE = 60.0
+HOUR = 60.0 * MINUTE
+DAY = 24.0 * HOUR
+WEEK = 7.0 * DAY
+
+
+def minutes(m: float) -> float:
+    """Convert a duration in minutes to simulation seconds."""
+    return m * MINUTE
+
+
+def seconds_to_minutes(s: float) -> float:
+    """Convert simulation seconds to minutes."""
+    return s / MINUTE
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable ``1d 02:03:04`` form."""
+    neg = seconds < 0
+    s = abs(seconds)
+    days, s = divmod(s, DAY)
+    hours, s = divmod(s, HOUR)
+    mins, secs = divmod(s, MINUTE)
+    core = f"{int(hours):02d}:{int(mins):02d}:{int(secs):02d}"
+    if days >= 1:
+        core = f"{int(days)}d {core}"
+    return f"-{core}" if neg else core

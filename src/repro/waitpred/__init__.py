@@ -1,0 +1,45 @@
+"""Queue wait-time prediction (paper §3).
+
+When a job is submitted, predict the run time of every job in the system
+(conditioning running jobs on their elapsed time), then simulate the
+scheduler forward over those predictions — with no future arrivals — to
+find when the new job would start.  The difference between that start and
+the submission time is the predicted wait.
+
+- :mod:`repro.waitpred.predictor` — the simulator observer that issues a
+  prediction at every submission;
+- :mod:`repro.waitpred.evaluation` — error accounting against the actual
+  waits of the real schedule (the paper's mean-error-in-minutes and
+  percentage-of-mean-wait columns).
+"""
+
+from repro.waitpred.predictor import WaitTimePredictor, predict_wait
+from repro.waitpred.evaluation import WaitPredictionReport, evaluate_wait_predictions
+from repro.waitpred.fast import (
+    backfill_predicted_start,
+    fcfs_predicted_start,
+    predict_start_fast,
+)
+from repro.waitpred.statebased import (
+    DEFAULT_STATE_TEMPLATES,
+    StateBasedWaitPredictor,
+    StateFeatures,
+    StateTemplate,
+)
+from repro.waitpred.uncertainty import WaitInterval, predict_wait_interval
+
+__all__ = [
+    "WaitTimePredictor",
+    "predict_wait",
+    "WaitPredictionReport",
+    "evaluate_wait_predictions",
+    "fcfs_predicted_start",
+    "backfill_predicted_start",
+    "predict_start_fast",
+    "StateBasedWaitPredictor",
+    "StateFeatures",
+    "StateTemplate",
+    "DEFAULT_STATE_TEMPLATES",
+    "WaitInterval",
+    "predict_wait_interval",
+]

@@ -1,0 +1,68 @@
+"""Scoring wait-time predictions against the realized schedule.
+
+The paper's Tables 4-9 report, per (workload, algorithm, predictor), the
+mean absolute wait-time prediction error in minutes and that error as a
+percentage of the mean (actual) wait time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scheduler.metrics import ScheduleResult
+from repro.utils.timeutils import seconds_to_minutes
+
+__all__ = ["WaitPredictionReport", "evaluate_wait_predictions"]
+
+
+@dataclass(frozen=True)
+class WaitPredictionReport:
+    """Aggregate accuracy of wait-time predictions over one run."""
+
+    n_jobs: int
+    mean_abs_error: float  # seconds
+    mean_wait: float  # seconds, of the realized schedule
+
+    @property
+    def mean_abs_error_minutes(self) -> float:
+        return seconds_to_minutes(self.mean_abs_error)
+
+    @property
+    def mean_wait_minutes(self) -> float:
+        return seconds_to_minutes(self.mean_wait)
+
+    @property
+    def percent_of_mean_wait(self) -> float:
+        """Mean error as a percentage of mean wait (the paper's column)."""
+        if self.mean_wait <= 0:
+            return 0.0
+        return 100.0 * self.mean_abs_error / self.mean_wait
+
+
+def evaluate_wait_predictions(
+    result: ScheduleResult, predicted_waits: dict[int, float]
+) -> WaitPredictionReport:
+    """Compare predicted waits with the realized waits of ``result``.
+
+    Every scheduled job must have a prediction; a missing one indicates
+    the observer was not attached for the whole run and raises.
+    """
+    errors = []
+    waits = []
+    for rec in result.records:
+        try:
+            predicted = predicted_waits[rec.job_id]
+        except KeyError:
+            raise KeyError(
+                f"no wait-time prediction recorded for job {rec.job_id}"
+            ) from None
+        errors.append(abs(predicted - rec.wait_time))
+        waits.append(rec.wait_time)
+    n = len(errors)
+    return WaitPredictionReport(
+        n_jobs=n,
+        mean_abs_error=float(np.mean(errors)) if n else 0.0,
+        mean_wait=float(np.mean(waits)) if n else 0.0,
+    )

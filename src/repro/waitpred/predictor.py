@@ -1,0 +1,130 @@
+"""Wait-time prediction by forward simulation.
+
+:class:`WaitTimePredictor` attaches to a :class:`repro.scheduler.Simulator`
+as an observer.  It owns its *own* run-time predictor — distinct from the
+estimator the scheduler itself runs on (in the paper's §3 experiments the
+scheduler always works from user maxima, while the evaluated predictor
+varies) — and keeps that predictor's history current from the stream of
+real completions.
+
+At each submission it freezes two numbers per job in the system:
+
+- a **duration** from its own predictor — what the job's run time is
+  believed to actually be;
+- a **scheduler estimate** from the real scheduler's estimator — what the
+  simulated scheduler will base ordering/reservation decisions on.
+
+and calls :func:`repro.scheduler.simulator.forward_simulate` to learn
+when the new job would start in that predicted future.  Keeping the two
+separate is what gives the paper its tiny built-in backfill error
+(Table 4): with perfect durations the imagined schedule replays the real
+scheduler's decisions exactly, later arrivals aside.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import PointEstimator, RuntimePredictor
+from repro.scheduler.policies.base import Policy
+from repro.scheduler.simulator import (
+    QueuedJob,
+    RuntimeEstimator,
+    SchedulerView,
+    SystemSnapshot,
+    forward_simulate,
+)
+from repro.workloads.job import Job
+
+__all__ = ["WaitTimePredictor", "predict_wait"]
+
+
+def _freeze(
+    snapshot: SystemSnapshot, estimator: RuntimeEstimator
+) -> dict[int, float]:
+    """One prediction per job in the snapshot (running conditioned on age)."""
+    now = snapshot.now
+    out: dict[int, float] = {}
+    for rj in snapshot.running:
+        out[rj.job_id] = estimator.predict(rj.job, rj.elapsed(now), now)
+    for qj in snapshot.queued:
+        out[qj.job_id] = estimator.predict(qj.job, 0.0, now)
+    return out
+
+
+def predict_wait(
+    snapshot: SystemSnapshot,
+    policy: Policy,
+    estimator: PointEstimator,
+    target_job_id: int,
+    *,
+    scheduler_estimator: RuntimeEstimator | None = None,
+    fast: bool = True,
+) -> float:
+    """Predicted wait (seconds) of ``target_job_id`` from ``snapshot``.
+
+    ``estimator`` supplies the believed durations; ``scheduler_estimator``
+    (default: the same) supplies the estimates the simulated scheduler
+    decides by.  ``fast`` routes through the analytic shortcuts of
+    :mod:`repro.waitpred.fast` where they are exact (identical results,
+    much cheaper for long FCFS queues).
+    """
+    durations = _freeze(snapshot, estimator)
+    estimates = (
+        _freeze(snapshot, scheduler_estimator)
+        if scheduler_estimator is not None
+        else None
+    )
+    if fast:
+        from repro.waitpred.fast import predict_start_fast
+
+        start = predict_start_fast(
+            snapshot, policy, durations, target_job_id, estimates=estimates
+        )
+    else:
+        start = forward_simulate(
+            snapshot, policy, durations, target_job_id, estimates=estimates
+        )
+    return start - snapshot.now
+
+
+class WaitTimePredictor:
+    """Simulator observer predicting each job's wait at submission."""
+
+    def __init__(
+        self,
+        policy: Policy,
+        predictor: RuntimePredictor,
+        *,
+        scheduler_estimator: RuntimeEstimator | None = None,
+        default: float = 600.0,
+        fall_back_to_max: bool = True,
+        fast: bool = True,
+    ) -> None:
+        self.policy = policy
+        self.estimator = PointEstimator(
+            predictor, default=default, fall_back_to_max=fall_back_to_max
+        )
+        self.scheduler_estimator = scheduler_estimator
+        self.fast = fast
+        #: job_id -> predicted wait in seconds, recorded at submission.
+        self.predicted_waits: dict[int, float] = {}
+
+    # -- observer hooks --------------------------------------------------
+    def on_submit(self, view: SchedulerView, qj: QueuedJob) -> None:
+        snapshot = SystemSnapshot(
+            now=view.now,
+            running=tuple(view.running),
+            queued=tuple(view.queued),
+            total_nodes=view.total_nodes,
+        )
+        self.predicted_waits[qj.job_id] = predict_wait(
+            snapshot,
+            self.policy,
+            self.estimator,
+            qj.job_id,
+            scheduler_estimator=self.scheduler_estimator,
+            fast=self.fast,
+        )
+
+    def on_finish(self, view: SchedulerView, job: Job) -> None:
+        # Historical predictors ingest completions as they happen (§2.1).
+        self.estimator.on_finish(job, view.now)

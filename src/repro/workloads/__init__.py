@@ -1,0 +1,64 @@
+"""Workload substrate: job records, trace containers, SWF I/O, generators.
+
+Modules
+-------
+- :mod:`repro.workloads.job` — the :class:`Job` record and :class:`Trace`
+  container used everywhere else;
+- :mod:`repro.workloads.fields` — the characteristic catalogue of the
+  paper's Table 2 (which trace records which job attributes);
+- :mod:`repro.workloads.swf` — Standard Workload Format reader/writer so
+  real Parallel Workloads Archive traces can be used directly;
+- :mod:`repro.workloads.synthetic` — seeded synthetic trace generator
+  with user populations, per-application run-time families, diurnal
+  arrivals and max-run-time overestimation;
+- :mod:`repro.workloads.archive` — the four paper workloads (ANL, CTC,
+  SDSC95, SDSC96) as calibrated synthetic specifications;
+- :mod:`repro.workloads.transform` — trace transformations (interarrival
+  compression, truncation, filtering);
+- :mod:`repro.workloads.stats` — Table 1-style summaries and offered load.
+"""
+
+from repro.workloads.job import Job, Trace
+from repro.workloads.fields import Characteristic, FieldCatalog, WORKLOAD_FIELDS
+from repro.workloads.synthetic import SyntheticWorkloadSpec, generate_trace
+from repro.workloads.archive import (
+    ANL,
+    CTC,
+    SDSC95,
+    SDSC96,
+    PAPER_WORKLOADS,
+    load_paper_workload,
+)
+from repro.workloads.transform import (
+    compress_interarrival,
+    head,
+    filter_jobs,
+    merge,
+    shift,
+)
+from repro.workloads.stats import TraceSummary, summarize
+from repro.workloads.feitelson import feitelson_trace
+
+__all__ = [
+    "Job",
+    "Trace",
+    "Characteristic",
+    "FieldCatalog",
+    "WORKLOAD_FIELDS",
+    "SyntheticWorkloadSpec",
+    "generate_trace",
+    "ANL",
+    "CTC",
+    "SDSC95",
+    "SDSC96",
+    "PAPER_WORKLOADS",
+    "load_paper_workload",
+    "compress_interarrival",
+    "head",
+    "filter_jobs",
+    "merge",
+    "shift",
+    "TraceSummary",
+    "summarize",
+    "feitelson_trace",
+]

@@ -1,0 +1,223 @@
+"""Workload analysis: the structural properties the predictors exploit.
+
+The paper's whole premise is that workloads carry exploitable structure:
+similar jobs (same user/application) have similar run times, queues have
+log-uniform-ish run-time distributions (Downey's model), and arrivals
+are bursty.  This module quantifies those properties for any trace —
+synthetic or real SWF — so a user can check whether a workload is the
+kind these techniques work on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.predictors.downey import fit_log_uniform
+from repro.workloads.job import Job, Trace
+
+__all__ = [
+    "RepetitionStats",
+    "repetition_stats",
+    "interarrival_stats",
+    "InterarrivalStats",
+    "node_histogram",
+    "LogUniformFitQuality",
+    "loguniform_fit_quality",
+    "within_group_dispersion",
+    "OverestimationStats",
+    "overestimation_stats",
+]
+
+
+@dataclass(frozen=True)
+class RepetitionStats:
+    """How often a (user, application) identity recurs in a trace."""
+
+    n_jobs: int
+    n_identities: int
+    repeat_fraction: float  # jobs whose identity appeared before
+    recent_repeat_fraction: float  # ... within the previous `window` jobs
+    window: int
+
+    @property
+    def mean_runs_per_identity(self) -> float:
+        if self.n_identities == 0:
+            return 0.0
+        return self.n_jobs / self.n_identities
+
+
+def _identity(job: Job) -> tuple:
+    return (job.user, job.executable or job.script or job.queue)
+
+
+def repetition_stats(trace: Trace, *, window: int = 100) -> RepetitionStats:
+    """Fraction of jobs repeating an earlier (user, application) identity.
+
+    ``recent_repeat_fraction`` restricts "earlier" to the previous
+    ``window`` submissions — the temporal locality that bounded-history
+    categories rely on.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    seen: set[tuple] = set()
+    recent: list[tuple] = []
+    repeats = 0
+    recent_repeats = 0
+    for job in trace:
+        ident = _identity(job)
+        if ident in seen:
+            repeats += 1
+        if ident in recent:
+            recent_repeats += 1
+        seen.add(ident)
+        recent.append(ident)
+        if len(recent) > window:
+            recent.pop(0)
+    n = len(trace)
+    return RepetitionStats(
+        n_jobs=n,
+        n_identities=len(seen),
+        repeat_fraction=repeats / n if n else 0.0,
+        recent_repeat_fraction=recent_repeats / n if n else 0.0,
+        window=window,
+    )
+
+
+@dataclass(frozen=True)
+class InterarrivalStats:
+    """Burstiness of the submission process."""
+
+    mean: float
+    cv: float  # coefficient of variation; > 1 means burstier than Poisson
+    max_gap: float
+
+
+def interarrival_stats(trace: Trace) -> InterarrivalStats:
+    times = np.array([j.submit_time for j in trace], dtype=float)
+    if times.size < 2:
+        return InterarrivalStats(mean=0.0, cv=0.0, max_gap=0.0)
+    gaps = np.diff(times)
+    mean = float(gaps.mean())
+    std = float(gaps.std())
+    return InterarrivalStats(
+        mean=mean,
+        cv=std / mean if mean > 0 else 0.0,
+        max_gap=float(gaps.max()),
+    )
+
+
+def node_histogram(trace: Trace) -> dict[int, int]:
+    """Job counts by node request (sorted by node count)."""
+    counter = Counter(j.nodes for j in trace)
+    return dict(sorted(counter.items()))
+
+
+@dataclass(frozen=True)
+class LogUniformFitQuality:
+    """How well Downey's F(t) = b0 + b1 ln t fits one category's CDF."""
+
+    category: str
+    n: int
+    r_squared: float
+    t_max: float | None
+
+
+def loguniform_fit_quality(
+    trace: Trace, *, min_points: int = 10
+) -> list[LogUniformFitQuality]:
+    """Per-queue (or global) R² of the log-uniform run-time model."""
+    groups: dict[str, list[float]] = defaultdict(list)
+    for job in trace:
+        groups[job.queue if job.queue is not None else "()"].append(job.run_time)
+    out: list[LogUniformFitQuality] = []
+    for name, run_times in sorted(groups.items()):
+        if len(run_times) < min_points:
+            continue
+        fit = fit_log_uniform(run_times)
+        if fit is None:
+            out.append(
+                LogUniformFitQuality(category=name, n=len(run_times),
+                                     r_squared=0.0, t_max=None)
+            )
+            continue
+        ts = np.sort(np.asarray(run_times, dtype=float))
+        x = np.log(np.clip(ts, 1e-9, None))
+        f = (np.arange(1, len(ts) + 1) - 0.5) / len(ts)
+        pred = fit.beta0 + fit.beta1 * x
+        ss_res = float(((f - pred) ** 2).sum())
+        ss_tot = float(((f - f.mean()) ** 2).sum())
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+        out.append(
+            LogUniformFitQuality(
+                category=name, n=len(ts), r_squared=r2, t_max=fit.t_max
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class OverestimationStats:
+    """How loose user-supplied maximum run times are.
+
+    The paper's baseline predictor is exactly these maxima; their
+    looseness (EASY-era studies found median overestimation factors of
+    3-10x) is why historical prediction has room to win.
+    """
+
+    n_with_max: int
+    median_factor: float
+    mean_factor: float
+    p90_factor: float
+    exceed_fraction: float  # jobs that ran past their stated maximum
+
+
+def overestimation_stats(trace: Trace) -> OverestimationStats:
+    """Distribution of ``max_run_time / run_time`` over jobs that have both."""
+    factors = []
+    exceed = 0
+    for job in trace:
+        if job.max_run_time is None or job.run_time <= 0:
+            continue
+        factors.append(job.max_run_time / job.run_time)
+        if job.run_time > job.max_run_time:
+            exceed += 1
+    if not factors:
+        return OverestimationStats(
+            n_with_max=0, median_factor=0.0, mean_factor=0.0,
+            p90_factor=0.0, exceed_fraction=0.0,
+        )
+    arr = np.asarray(factors)
+    return OverestimationStats(
+        n_with_max=arr.size,
+        median_factor=float(np.median(arr)),
+        mean_factor=float(arr.mean()),
+        p90_factor=float(np.percentile(arr, 90)),
+        exceed_fraction=exceed / arr.size,
+    )
+
+
+def within_group_dispersion(trace: Trace) -> float:
+    """Ratio of within-identity to overall log-run-time spread, in [0, ~1].
+
+    Small values mean "knowing who submitted the job pins down its run
+    time" — the regime where historical prediction wins.  Identities
+    with fewer than 3 runs are ignored.
+    """
+    groups: dict[tuple, list[float]] = defaultdict(list)
+    for job in trace:
+        if job.run_time > 0:
+            groups[_identity(job)].append(math.log(job.run_time))
+    all_logs = [v for vs in groups.values() for v in vs]
+    if len(all_logs) < 2:
+        return 0.0
+    overall = float(np.std(all_logs))
+    if overall == 0.0:
+        return 0.0
+    within = [float(np.std(vs)) for vs in groups.values() if len(vs) >= 3]
+    if not within:
+        return 1.0
+    return float(np.mean(within)) / overall

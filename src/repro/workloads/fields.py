@@ -1,0 +1,100 @@
+"""The characteristic catalogue of the paper's Table 2.
+
+Each trace records a different subset of job attributes, and templates may
+only use characteristics the trace actually records.  This module names
+the characteristics with the paper's abbreviations, maps them onto
+:class:`repro.workloads.job.Job` attributes, and declares which are
+available in each of the four paper workloads (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads.job import Job
+
+__all__ = [
+    "Characteristic",
+    "CHARACTERISTICS",
+    "TEMPLATE_CHARACTERISTICS",
+    "FieldCatalog",
+    "WORKLOAD_FIELDS",
+]
+
+
+@dataclass(frozen=True)
+class Characteristic:
+    """One job attribute usable inside a similarity template."""
+
+    abbr: str
+    name: str
+    getter: Callable[[Job], object]
+
+
+def _attr(attr: str) -> Callable[[Job], object]:
+    def get(job: Job) -> object:
+        return getattr(job, attr)
+
+    return get
+
+
+# Order follows Table 2 of the paper.  "n" (number of nodes) is handled
+# specially by templates via node-range binning, but is listed here so the
+# catalogue is complete.
+CHARACTERISTICS: dict[str, Characteristic] = {
+    "t": Characteristic("t", "type", _attr("job_type")),
+    "q": Characteristic("q", "queue", _attr("queue")),
+    "c": Characteristic("c", "class", _attr("job_class")),
+    "u": Characteristic("u", "user", _attr("user")),
+    "s": Characteristic("s", "loadleveler script", _attr("script")),
+    "e": Characteristic("e", "executable", _attr("executable")),
+    "a": Characteristic("a", "arguments", _attr("arguments")),
+    "na": Characteristic("na", "network adaptor", _attr("network_adaptor")),
+    "n": Characteristic("n", "number of nodes", _attr("nodes")),
+}
+
+#: Characteristics eligible as categorical template components (1-8 of
+#: Table 2; node count is continuous and handled by node-range binning).
+TEMPLATE_CHARACTERISTICS: tuple[str, ...] = ("t", "q", "c", "u", "s", "e", "a", "na")
+
+
+@dataclass(frozen=True)
+class FieldCatalog:
+    """The set of characteristics one workload records (one Table 2 column)."""
+
+    workload: str
+    available: frozenset[str]
+    has_max_run_time: bool
+
+    def categorical(self) -> tuple[str, ...]:
+        """Available categorical characteristics, in Table 2 order."""
+        return tuple(c for c in TEMPLATE_CHARACTERISTICS if c in self.available)
+
+    def __contains__(self, abbr: str) -> bool:
+        return abbr in self.available
+
+
+#: Table 2 of the paper: which characteristics each trace records.
+WORKLOAD_FIELDS: dict[str, FieldCatalog] = {
+    "ANL": FieldCatalog(
+        "ANL",
+        frozenset({"t", "u", "e", "a", "n"}),
+        has_max_run_time=True,
+    ),
+    "CTC": FieldCatalog(
+        "CTC",
+        frozenset({"t", "c", "u", "s", "na", "n"}),
+        has_max_run_time=True,
+    ),
+    "SDSC95": FieldCatalog(
+        "SDSC95",
+        frozenset({"q", "u", "n"}),
+        has_max_run_time=False,
+    ),
+    "SDSC96": FieldCatalog(
+        "SDSC96",
+        frozenset({"q", "u", "n"}),
+        has_max_run_time=False,
+    ),
+}

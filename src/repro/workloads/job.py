@@ -1,0 +1,148 @@
+"""Job records and trace containers.
+
+A :class:`Job` carries everything the paper's Table 2 lists for any of the
+four traces: identity characteristics (type, queue, class, user, script,
+executable, arguments, network adaptor), the requested number of nodes,
+the user-supplied maximum run time, and the ground-truth submit/run times
+from the trace.  Characteristics that a particular trace does not record
+are simply ``None`` — the predictors only template over fields the
+workload declares available (see :mod:`repro.workloads.fields`).
+
+Times are floats in **seconds** from the trace epoch; run times are
+durations in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = ["Job", "Trace"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One request to run an application on the machine."""
+
+    job_id: int
+    submit_time: float
+    run_time: float
+    nodes: int
+    user: str | None = None
+    job_type: str | None = None
+    queue: str | None = None
+    job_class: str | None = None
+    script: str | None = None
+    executable: str | None = None
+    arguments: str | None = None
+    network_adaptor: str | None = None
+    max_run_time: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"job {self.job_id}: nodes must be >= 1, got {self.nodes}")
+        if self.run_time < 0:
+            raise ValueError(f"job {self.job_id}: run_time must be >= 0, got {self.run_time}")
+        if self.submit_time < 0:
+            raise ValueError(
+                f"job {self.job_id}: submit_time must be >= 0, got {self.submit_time}"
+            )
+        if self.max_run_time is not None and self.max_run_time <= 0:
+            raise ValueError(
+                f"job {self.job_id}: max_run_time must be > 0, got {self.max_run_time}"
+            )
+
+    @property
+    def work(self) -> float:
+        """Node-seconds actually consumed (nodes × run time)."""
+        return self.nodes * self.run_time
+
+    def with_(self, **changes) -> "Job":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class Trace:
+    """An ordered collection of jobs plus workload metadata.
+
+    Jobs are kept sorted by ``(submit_time, job_id)``; the constructor
+    sorts defensively so generators and parsers need not.
+    ``total_nodes`` is the size of the machine the trace was recorded on
+    (after any correction — the paper shrinks ANL from 120 to 80 nodes to
+    compensate for the missing third of its trace).
+    """
+
+    def __init__(
+        self,
+        jobs: Iterable[Job],
+        *,
+        total_nodes: int,
+        name: str = "trace",
+        available_fields: frozenset[str] | None = None,
+    ) -> None:
+        if total_nodes < 1:
+            raise ValueError(f"total_nodes must be >= 1, got {total_nodes}")
+        self._jobs: list[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        seen: set[int] = set()
+        for j in self._jobs:
+            if j.job_id in seen:
+                raise ValueError(f"duplicate job_id {j.job_id} in trace")
+            seen.add(j.job_id)
+            if j.nodes > total_nodes:
+                raise ValueError(
+                    f"job {j.job_id} requests {j.nodes} nodes on a "
+                    f"{total_nodes}-node machine"
+                )
+        self.total_nodes = total_nodes
+        self.name = name
+        self.available_fields = available_fields
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, idx: int) -> Job:
+        return self._jobs[idx]
+
+    @property
+    def jobs(self) -> Sequence[Job]:
+        return tuple(self._jobs)
+
+    @property
+    def span(self) -> float:
+        """Time from first submission to last completion if run unqueued.
+
+        A lower bound on the makespan of any non-clairvoyant schedule;
+        used by :func:`repro.workloads.stats.offered_load`.
+        """
+        if not self._jobs:
+            return 0.0
+        first = self._jobs[0].submit_time
+        last = max(j.submit_time + j.run_time for j in self._jobs)
+        return last - first
+
+    def map(self, fn: Callable[[Job], Job], *, name: str | None = None) -> "Trace":
+        """Return a new trace with ``fn`` applied to every job."""
+        return Trace(
+            (fn(j) for j in self._jobs),
+            total_nodes=self.total_nodes,
+            name=name or self.name,
+            available_fields=self.available_fields,
+        )
+
+    def filter(self, pred: Callable[[Job], bool], *, name: str | None = None) -> "Trace":
+        """Return a new trace keeping only jobs for which ``pred`` is true."""
+        return Trace(
+            (j for j in self._jobs if pred(j)),
+            total_nodes=self.total_nodes,
+            name=name or self.name,
+            available_fields=self.available_fields,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(name={self.name!r}, jobs={len(self._jobs)}, "
+            f"total_nodes={self.total_nodes})"
+        )

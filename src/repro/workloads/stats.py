@@ -1,0 +1,74 @@
+"""Workload summaries — the numbers behind the paper's Table 1.
+
+:func:`summarize` computes per-trace request count, machine size, mean run
+time and offered load; :func:`offered_load` is the standard work-over-
+capacity ratio taken over the submission span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.timeutils import seconds_to_minutes
+from repro.workloads.job import Trace
+
+__all__ = ["TraceSummary", "summarize", "offered_load"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """One row of a Table 1-style workload characterization."""
+
+    name: str
+    total_nodes: int
+    n_jobs: int
+    mean_run_time_minutes: float
+    median_run_time_minutes: float
+    mean_nodes: float
+    offered_load: float
+    span_days: float
+    n_users: int
+    n_queues: int
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "Workload": self.name,
+            "Nodes": self.total_nodes,
+            "Requests": self.n_jobs,
+            "Mean Run Time (minutes)": round(self.mean_run_time_minutes, 2),
+            "Offered Load": round(self.offered_load, 3),
+        }
+
+
+def offered_load(trace: Trace) -> float:
+    """Total node-seconds of work over machine capacity across the span."""
+    if len(trace) == 0 or trace.span <= 0:
+        return 0.0
+    work = sum(j.work for j in trace)
+    return work / (trace.span * trace.total_nodes)
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Characterize a trace (request counts, run-time stats, load)."""
+    run_times = np.array([j.run_time for j in trace], dtype=float)
+    nodes = np.array([j.nodes for j in trace], dtype=float)
+    users = {j.user for j in trace if j.user is not None}
+    queues = {j.queue for j in trace if j.queue is not None}
+    return TraceSummary(
+        name=trace.name,
+        total_nodes=trace.total_nodes,
+        n_jobs=len(trace),
+        mean_run_time_minutes=(
+            seconds_to_minutes(float(run_times.mean())) if len(trace) else 0.0
+        ),
+        median_run_time_minutes=(
+            seconds_to_minutes(float(np.median(run_times))) if len(trace) else 0.0
+        ),
+        mean_nodes=float(nodes.mean()) if len(trace) else 0.0,
+        offered_load=offered_load(trace),
+        span_days=trace.span / 86400.0,
+        n_users=len(users),
+        n_queues=len(queues),
+    )

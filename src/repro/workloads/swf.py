@@ -1,0 +1,168 @@
+"""Standard Workload Format (SWF) reader and writer.
+
+The Parallel Workloads Archive distributes the traces the paper used (ANL
+SP2, CTC SP2, SDSC Paragon 95/96) in SWF: one job per line with 18
+whitespace-separated fields, and ``;``-prefixed header comments carrying
+metadata such as ``MaxNodes``.  This module converts between SWF and
+:class:`repro.workloads.job.Trace` so that a user with the real archive
+files can run every experiment on the genuine traces instead of our
+synthetic stand-ins.
+
+SWF field reference (1-based, as in the archive documentation):
+
+ 1 job number          7 used memory        13 group id
+ 2 submit time         8 requested procs    14 executable number
+ 3 wait time           9 requested time     15 queue number
+ 4 run time           10 requested memory   16 partition number
+ 5 allocated procs    11 status             17 preceding job number
+ 6 avg cpu time       12 user id            18 think time
+
+Missing values are ``-1``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.workloads.job import Job, Trace
+
+__all__ = ["read_swf", "write_swf", "parse_swf_lines", "job_to_swf_line"]
+
+_NUM_FIELDS = 18
+
+
+def parse_swf_lines(
+    lines: Iterable[str], *, name: str = "swf", default_nodes: int | None = None
+) -> Trace:
+    """Parse an iterable of SWF lines into a :class:`Trace`.
+
+    Header comments are scanned for ``MaxNodes``/``MaxProcs`` to size the
+    machine; ``default_nodes`` is used when neither is present (an error
+    if also absent).  Jobs with non-positive run time or processor count
+    (cancelled entries) are skipped, matching common simulator practice.
+    """
+    max_nodes: int | None = None
+    jobs: list[Job] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            header = line.lstrip("; \t")
+            for key in ("MaxNodes:", "MaxProcs:"):
+                if header.startswith(key):
+                    try:
+                        candidate = int(header[len(key):].strip().split()[0])
+                    except (ValueError, IndexError):
+                        continue
+                    # Prefer MaxNodes; fall back to MaxProcs.
+                    if key == "MaxNodes:" or max_nodes is None:
+                        max_nodes = candidate
+            continue
+        parts = line.split()
+        if len(parts) != _NUM_FIELDS:
+            raise ValueError(
+                f"SWF line {lineno}: expected {_NUM_FIELDS} fields, got {len(parts)}"
+            )
+        f = [float(p) for p in parts]
+        job_id = int(f[0])
+        submit = f[1]
+        run_time = f[3]
+        procs = int(f[7]) if f[7] > 0 else int(f[4])
+        if run_time <= 0 or procs <= 0:
+            continue
+        requested_time = f[8] if f[8] > 0 else None
+        user = f"user{int(f[11])}" if f[11] >= 0 else None
+        executable = f"app{int(f[13])}" if f[13] >= 0 else None
+        queue = f"queue{int(f[14])}" if f[14] >= 0 else None
+        partition = f"class{int(f[15])}" if f[15] >= 0 else None
+        jobs.append(
+            Job(
+                job_id=job_id,
+                submit_time=max(submit, 0.0),
+                run_time=run_time,
+                nodes=procs,
+                user=user,
+                executable=executable,
+                queue=queue,
+                job_class=partition,
+                max_run_time=requested_time,
+            )
+        )
+    if max_nodes is None:
+        if default_nodes is None:
+            max_nodes = max((j.nodes for j in jobs), default=1)
+        else:
+            max_nodes = default_nodes
+    return Trace(jobs, total_nodes=max_nodes, name=name)
+
+
+def read_swf(path: str | Path, *, name: str | None = None) -> Trace:
+    """Read an SWF file from ``path``."""
+    p = Path(path)
+    with p.open("r", encoding="utf-8", errors="replace") as fh:
+        return parse_swf_lines(fh, name=name or p.stem)
+
+
+def job_to_swf_line(job: Job, *, wait_time: float = -1.0) -> str:
+    """Render one job as an SWF record line."""
+
+    def num(x: object, default: str = "-1") -> str:
+        if x is None:
+            return default
+        return str(x)
+
+    def ident(value: str | None, prefix: str) -> str:
+        if value is None:
+            return "-1"
+        if value.startswith(prefix):
+            suffix = value[len(prefix):]
+            if suffix.isdigit():
+                return suffix
+        # Stable non-negative hash for arbitrary identifier strings.
+        return str(abs(hash(value)) % 10**8)
+
+    fields = [
+        str(job.job_id),
+        f"{job.submit_time:.0f}",
+        f"{wait_time:.0f}",
+        f"{job.run_time:.0f}",
+        str(job.nodes),
+        "-1",  # avg cpu time
+        "-1",  # used memory
+        str(job.nodes),
+        num(f"{job.max_run_time:.0f}" if job.max_run_time is not None else None),
+        "-1",  # requested memory
+        "1",  # status: completed
+        ident(job.user, "user"),
+        "-1",  # group
+        ident(job.executable, "app"),
+        ident(job.queue, "queue"),
+        ident(job.job_class, "class"),
+        "-1",  # preceding job
+        "-1",  # think time
+    ]
+    return " ".join(fields)
+
+
+def write_swf(trace: Trace, path_or_file: str | Path | TextIO) -> None:
+    """Write a trace as an SWF file (with a minimal header)."""
+    own = not isinstance(path_or_file, io.TextIOBase) and not hasattr(
+        path_or_file, "write"
+    )
+    fh: TextIO
+    if own:
+        fh = Path(path_or_file).open("w", encoding="utf-8")  # type: ignore[arg-type]
+    else:
+        fh = path_or_file  # type: ignore[assignment]
+    try:
+        fh.write(f"; Workload: {trace.name}\n")
+        fh.write(f"; MaxNodes: {trace.total_nodes}\n")
+        fh.write(f"; MaxRecords: {len(trace)}\n")
+        for job in trace:
+            fh.write(job_to_swf_line(job) + "\n")
+    finally:
+        if own:
+            fh.close()

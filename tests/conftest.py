@@ -1,0 +1,68 @@
+"""Shared fixtures: compact deterministic jobs and traces."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.workloads.job import Job, Trace
+from repro.workloads.archive import load_paper_workload
+
+_ids = itertools.count(1)
+
+
+def make_job(
+    *,
+    job_id: int | None = None,
+    submit_time: float = 0.0,
+    run_time: float = 600.0,
+    nodes: int = 4,
+    user: str | None = "alice",
+    executable: str | None = "sim",
+    queue: str | None = None,
+    max_run_time: float | None = None,
+    **kwargs,
+) -> Job:
+    """A job with compact defaults; job ids auto-increment if omitted."""
+    return Job(
+        job_id=job_id if job_id is not None else next(_ids),
+        submit_time=submit_time,
+        run_time=run_time,
+        nodes=nodes,
+        user=user,
+        executable=executable,
+        queue=queue,
+        max_run_time=max_run_time,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def job_factory():
+    return make_job
+
+
+@pytest.fixture
+def small_trace() -> Trace:
+    """Five jobs on a 10-node machine exercising queueing and overlap."""
+    jobs = [
+        make_job(job_id=1, submit_time=0.0, run_time=1000.0, nodes=6, user="a"),
+        make_job(job_id=2, submit_time=10.0, run_time=500.0, nodes=6, user="b"),
+        make_job(job_id=3, submit_time=20.0, run_time=100.0, nodes=2, user="a"),
+        make_job(job_id=4, submit_time=30.0, run_time=2000.0, nodes=10, user="c"),
+        make_job(job_id=5, submit_time=40.0, run_time=50.0, nodes=1, user="b"),
+    ]
+    return Trace(jobs, total_nodes=10, name="small")
+
+
+@pytest.fixture(scope="session")
+def anl_trace() -> Trace:
+    """A 400-job slice of the synthetic ANL workload (session cached)."""
+    return load_paper_workload("ANL", n_jobs=400)
+
+
+@pytest.fixture(scope="session")
+def sdsc_trace() -> Trace:
+    """A 400-job slice of the synthetic SDSC95 workload (session cached)."""
+    return load_paper_workload("SDSC95", n_jobs=400)

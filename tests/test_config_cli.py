@@ -1,0 +1,183 @@
+"""Tests for repro.config and repro.cli."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main, run_config
+from repro.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        cfg = ExperimentConfig()
+        assert cfg.kind == "scheduling"
+        assert cfg.n_jobs == 1000
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ExperimentConfig(kind="throughput")
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            ExperimentConfig(workloads=("LANL",))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            ExperimentConfig(algorithms=("sjf",))
+
+    def test_unknown_predictor(self):
+        with pytest.raises(ValueError, match="predictor"):
+            ExperimentConfig(predictors=("oracle",))
+
+    def test_bad_n_jobs(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_jobs=0)
+
+    def test_bad_compress(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(compress=-1.0)
+
+    def test_dict_roundtrip(self):
+        cfg = ExperimentConfig(workloads=("ANL",), predictors=("actual",))
+        assert ExperimentConfig.from_dict(cfg.as_dict()) == cfg
+
+    def test_from_dict_coerces_lists(self):
+        cfg = ExperimentConfig.from_dict(
+            {"workloads": ["ANL"], "predictors": ["actual"], "algorithms": ["lwf"]}
+        )
+        assert cfg.workloads == ("ANL",)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown config keys"):
+            ExperimentConfig.from_dict({"wrkloads": ["ANL"]})
+
+
+class TestRunConfig:
+    def test_scheduling_grid(self):
+        cfg = ExperimentConfig(
+            workloads=("ANL",),
+            algorithms=("lwf",),
+            predictors=("actual",),
+            n_jobs=120,
+        )
+        rows = run_config(cfg)
+        assert len(rows) == 1
+        assert rows[0]["Workload"] == "ANL"
+        assert "Utilization (percent)" in rows[0]
+
+    def test_runtime_error_grid(self):
+        cfg = ExperimentConfig(
+            kind="runtime-error",
+            workloads=("SDSC95",),
+            predictors=("actual", "max"),
+            n_jobs=120,
+        )
+        rows = run_config(cfg)
+        assert len(rows) == 2
+        assert {r["Predictor"] for r in rows} == {"actual", "max"}
+
+    def test_wait_time_grid(self):
+        cfg = ExperimentConfig(
+            kind="wait-time",
+            workloads=("ANL",),
+            algorithms=("fcfs",),
+            predictors=("actual",),
+            n_jobs=120,
+        )
+        rows = run_config(cfg)
+        assert rows[0]["Mean Error (minutes)"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_compress_applied(self):
+        base = ExperimentConfig(
+            workloads=("SDSC95",), algorithms=("lwf",),
+            predictors=("actual",), n_jobs=300,
+        )
+        hard = ExperimentConfig(
+            workloads=("SDSC95",), algorithms=("lwf",),
+            predictors=("actual",), n_jobs=300, compress=4.0,
+        )
+        u_base = run_config(base)[0]["Utilization (percent)"]
+        u_hard = run_config(hard)[0]["Utilization (percent)"]
+        assert u_hard > u_base
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["scheduling", "--workloads", "ANL", "--n-jobs", "50"]
+        )
+        assert args.command == "scheduling"
+        assert args.workloads == ["ANL"]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_main_scheduling(self, capsys):
+        rc = main(
+            [
+                "scheduling",
+                "--workloads", "ANL",
+                "--algorithms", "lwf",
+                "--predictors", "actual",
+                "--n-jobs", "120",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ANL" in out
+        assert "Utilization" in out
+
+    def test_main_summarize(self, capsys):
+        rc = main(["summarize", "--n-jobs", "100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SDSC96" in out
+
+    def test_main_ga_search(self, capsys):
+        rc = main(
+            [
+                "ga-search",
+                "--workload", "ANL",
+                "--n-jobs", "120",
+                "--population", "4",
+                "--generations", "2",
+                "--eval-jobs", "60",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Best template set (ANL)" in out
+        assert "full-replay error" in out
+
+    def test_main_ga_search_with_algorithm_workload(self, capsys):
+        rc = main(
+            [
+                "ga-search",
+                "--workload", "SDSC95",
+                "--algorithm", "lwf",
+                "--n-jobs", "100",
+                "--population", "4",
+                "--generations", "1",
+                "--eval-jobs", "50",
+            ]
+        )
+        assert rc == 0
+        assert "SDSC95/lwf" in capsys.readouterr().out
+
+    def test_main_report(self, tmp_path, capsys, monkeypatch):
+        out_file = tmp_path / "EXP.md"
+
+        # Patch the heavy generator: the CLI's wiring is what's under test.
+        import repro.core.report as report_mod
+
+        monkeypatch.setattr(
+            report_mod,
+            "generate_experiments_report",
+            lambda n_jobs, progress=None: "# stub\n",
+        )
+        rc = main(["report", "--n-jobs", "10", "-o", str(out_file)])
+        assert rc == 0
+        assert out_file.read_text() == "# stub\n"

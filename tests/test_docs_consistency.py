@@ -1,0 +1,64 @@
+"""Keep the documentation synchronized with the code.
+
+These tests fail when a bench, example, or documented module is added or
+removed without updating the corresponding document — cheap insurance
+against the docs rotting.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestBenchmarkDocs:
+    def test_every_bench_listed_in_benchmarks_md(self):
+        doc = (ROOT / "docs" / "benchmarks.md").read_text()
+        benches = sorted(p.name for p in (ROOT / "benchmarks").glob("bench_*.py"))
+        missing = [b for b in benches if b not in doc]
+        assert not missing, f"benches missing from docs/benchmarks.md: {missing}"
+
+    def test_no_phantom_benches_in_docs(self):
+        doc = (ROOT / "docs" / "benchmarks.md").read_text()
+        referenced = set(re.findall(r"bench_\w+\.py", doc))
+        existing = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        phantom = referenced - existing
+        assert not phantom, f"docs reference non-existent benches: {phantom}"
+
+
+class TestReadme:
+    def test_examples_listed(self):
+        readme = (ROOT / "README.md").read_text()
+        for example in (ROOT / "examples").glob("*.py"):
+            assert example.name in readme, f"{example.name} not in README"
+
+    def test_quickstart_snippet_runs(self):
+        """The README's quickstart code must actually work."""
+        from repro import load_paper_workload, run_scheduling_experiment
+
+        trace = load_paper_workload("ANL", n_jobs=60)
+        cell, result = run_scheduling_experiment(trace, "backfill", "smith")
+        assert cell.utilization_percent > 0
+
+
+class TestDesignInventory:
+    def test_design_module_references_exist(self):
+        """Every `repro.x.y` module path DESIGN.md names must import."""
+        import importlib
+
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in sorted(set(re.findall(r"`(repro(?:\.\w+)+)`", design))):
+            importlib.import_module(match)
+
+    def test_design_bench_references_exist(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in sorted(set(re.findall(r"benchmarks/(bench_\w+\.py)", design))):
+            assert (ROOT / "benchmarks" / match).exists(), match
+
+    def test_experiments_md_exists_and_fresh_format(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        assert "# EXPERIMENTS" in text
+        for no in (1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15):
+            assert f"## Table {no} " in text

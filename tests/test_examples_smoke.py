@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs end to end at tiny scale."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+_CASES = [
+    ("quickstart.py", ["200"]),
+    ("scheduling_comparison.py", ["ANL", "150"]),
+    ("wait_time_prediction.py", ["120"]),
+    ("template_search.py", ["ANL", "200", "2"]),
+    ("swf_trace.py", []),
+    ("coallocation.py", ["200"]),
+    ("resource_selection.py", ["150"]),
+]
+
+
+@pytest.mark.parametrize("script,args", _CASES, ids=[c[0] for c in _CASES])
+def test_example_runs(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_covered():
+    """Every script in examples/ has a smoke test."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == {name for name, _ in _CASES}

@@ -1,0 +1,130 @@
+"""Integration tests asserting the paper's qualitative findings.
+
+These run reduced-size versions of the actual experiments and check the
+*shapes* the paper reports — who beats whom, what is invariant — rather
+than absolute minutes, which depend on the (synthetic) trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import (
+    run_runtime_prediction_experiment,
+    run_scheduling_experiment,
+    run_wait_time_experiment,
+)
+from repro.workloads.archive import load_paper_workload
+from repro.workloads.transform import compress_interarrival
+
+N_JOBS = 500
+
+
+@pytest.fixture(scope="module")
+def anl():
+    return load_paper_workload("ANL", n_jobs=N_JOBS)
+
+
+@pytest.fixture(scope="module")
+def sdsc():
+    return load_paper_workload("SDSC95", n_jobs=N_JOBS)
+
+
+class TestTable4Shapes:
+    """Wait-time prediction with actual run times."""
+
+    def test_fcfs_has_no_builtin_error(self, anl):
+        cell, _, _ = run_wait_time_experiment(anl, "fcfs", "actual")
+        assert cell.mean_error_minutes == pytest.approx(0.0, abs=1e-6)
+
+    def test_lwf_builtin_error_exceeds_backfill(self, anl):
+        lwf, _, _ = run_wait_time_experiment(anl, "lwf", "actual")
+        bf, _, _ = run_wait_time_experiment(anl, "backfill", "actual")
+        assert lwf.percent_of_mean_wait > bf.percent_of_mean_wait
+
+    def test_backfill_builtin_error_small(self, anl):
+        bf, _, _ = run_wait_time_experiment(anl, "backfill", "actual")
+        # Paper: 3-10% across workloads; allow slack for the synthetic trace.
+        assert bf.percent_of_mean_wait < 30.0
+
+
+class TestTable5And6Shapes:
+    """Max run times are a much worse wait-time predictor than Smith."""
+
+    @pytest.mark.parametrize("algo", ["fcfs", "lwf", "backfill"])
+    def test_smith_beats_max(self, anl, algo):
+        max_cell, _, _ = run_wait_time_experiment(anl, algo, "max")
+        smith_cell, _, _ = run_wait_time_experiment(anl, algo, "smith")
+        assert smith_cell.mean_error_minutes < max_cell.mean_error_minutes
+
+    def test_max_error_exceeds_mean_wait(self, anl):
+        """Paper Table 5: max-run-time errors are 94-350% of mean wait."""
+        cell, _, _ = run_wait_time_experiment(anl, "backfill", "max")
+        assert cell.percent_of_mean_wait > 100.0
+
+
+class TestRuntimePredictionShapes:
+    """§3: Smith's run-time predictions beat max/Gibbons/Downey."""
+
+    def test_predictor_ordering_on_anl(self, anl):
+        errors = {
+            name: run_runtime_prediction_experiment(anl, name).mean_error_minutes
+            for name in ("actual", "max", "smith", "gibbons",
+                         "downey-average", "downey-median")
+        }
+        assert errors["actual"] == pytest.approx(0.0)
+        assert errors["smith"] < errors["max"]
+        assert errors["smith"] < errors["downey-average"]
+        assert errors["smith"] < errors["downey-median"]
+        # Gibbons is the strongest competitor; require Smith within 20%.
+        assert errors["smith"] < 1.2 * errors["gibbons"]
+
+    def test_smith_beats_max_on_sdsc(self, sdsc):
+        smith = run_runtime_prediction_experiment(sdsc, "smith")
+        mx = run_runtime_prediction_experiment(sdsc, "max")
+        assert smith.mean_error_minutes < mx.mean_error_minutes
+
+
+class TestTables10To12Shapes:
+    """Scheduling performance."""
+
+    def test_utilization_invariant_across_predictors(self, anl):
+        utils = []
+        for pred in ("actual", "max", "smith", "gibbons"):
+            cell, _ = run_scheduling_experiment(anl, "backfill", pred)
+            utils.append(cell.utilization_percent)
+        assert max(utils) - min(utils) < 6.0
+
+    def test_lwf_mean_wait_below_backfill(self, anl):
+        """Paper Table 10: LWF posts lower mean waits than backfill."""
+        lwf, _ = run_scheduling_experiment(anl, "lwf", "actual")
+        bf, _ = run_scheduling_experiment(anl, "backfill", "actual")
+        assert lwf.mean_wait_minutes < bf.mean_wait_minutes
+
+    def test_smith_beats_max_for_backfill(self, anl):
+        """§4: better run-time predictions help backfill's mean wait."""
+        smith, _ = run_scheduling_experiment(anl, "backfill", "smith")
+        mx, _ = run_scheduling_experiment(anl, "backfill", "max")
+        assert smith.mean_wait_minutes < mx.mean_wait_minutes
+
+    def test_smith_close_to_oracle_for_lwf(self, anl):
+        """Paper: LWF tolerates estimate error (big-vs-small suffices)."""
+        smith, _ = run_scheduling_experiment(anl, "lwf", "smith")
+        oracle, _ = run_scheduling_experiment(anl, "lwf", "actual")
+        assert smith.mean_wait_minutes <= 1.6 * oracle.mean_wait_minutes + 2.0
+
+
+class TestCompressionExperiment:
+    """§4: doubling the SDSC offered load ('hard' scheduling)."""
+
+    def test_compression_raises_waits(self, sdsc):
+        compressed = compress_interarrival(sdsc, 2.0)
+        base, _ = run_scheduling_experiment(sdsc, "backfill", "actual")
+        hard, _ = run_scheduling_experiment(compressed, "backfill", "actual")
+        assert hard.mean_wait_minutes > base.mean_wait_minutes
+
+    def test_compressed_utilization_rises(self, sdsc):
+        compressed = compress_interarrival(sdsc, 2.0)
+        base, _ = run_scheduling_experiment(sdsc, "lwf", "actual")
+        hard, _ = run_scheduling_experiment(compressed, "lwf", "actual")
+        assert hard.utilization_percent > base.utilization_percent

@@ -1,0 +1,182 @@
+"""Tests for the metacomputing broker and routing strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metacomputing import (
+    LeastQueuedWorkRouting,
+    Machine,
+    MetaSimulator,
+    PredictedWaitRouting,
+    RandomRouting,
+    RoundRobinRouting,
+)
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import ActualRuntimePredictor
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+
+def machine(name, nodes=16, policy=None):
+    return Machine(
+        name,
+        policy or FCFSPolicy(),
+        PointEstimator(ActualRuntimePredictor()),
+        nodes,
+    )
+
+
+def arrivals(jobs):
+    return Trace(jobs, total_nodes=512, name="arrivals")
+
+
+class TestMachine:
+    def test_fits(self):
+        m = machine("a", nodes=8)
+        assert m.fits(make_job(nodes=8))
+        assert not m.fits(make_job(nodes=9))
+
+    def test_submit_oversized_raises(self):
+        m = machine("a", nodes=4)
+        with pytest.raises(ValueError, match="needs"):
+            m.submit(make_job(nodes=8), 0.0)
+
+    def test_advance_and_queued_work(self):
+        m = machine("a", nodes=4)
+        m.submit(make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=4), 0.0)
+        m.submit(make_job(job_id=2, submit_time=1.0, run_time=200.0, nodes=2), 1.0)
+        m.advance_to(5.0)
+        # Job 1 running, job 2 queued: queued work = 2 * 200.
+        assert m.queued_work(5.0) == pytest.approx(400.0)
+
+    def test_drain_completes(self):
+        m = machine("a")
+        m.submit(make_job(job_id=1, submit_time=0.0, run_time=50.0), 0.0)
+        m.drain()
+        assert len(m.sim.result()) == 1
+
+
+class TestMetaSimulator:
+    def test_requires_machines(self):
+        with pytest.raises(ValueError):
+            MetaSimulator([], RoundRobinRouting())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MetaSimulator([machine("a"), machine("a")], RoundRobinRouting())
+
+    def test_every_job_placed_once(self):
+        jobs = [make_job(job_id=i, submit_time=float(i), nodes=2) for i in range(1, 9)]
+        meta = MetaSimulator([machine("a"), machine("b")], RoundRobinRouting())
+        result = meta.run(arrivals(jobs))
+        assert result.n_jobs == 8
+        assert set(result.placements) == {j.job_id for j in jobs}
+
+    def test_round_robin_alternates(self):
+        jobs = [make_job(job_id=i, submit_time=float(i), nodes=1) for i in range(1, 5)]
+        meta = MetaSimulator([machine("a"), machine("b")], RoundRobinRouting())
+        result = meta.run(arrivals(jobs))
+        assert [result.placements[i] for i in range(1, 5)] == ["a", "b", "a", "b"]
+
+    def test_wide_job_only_on_big_machine(self):
+        jobs = [make_job(job_id=1, submit_time=0.0, nodes=32)]
+        meta = MetaSimulator(
+            [machine("small", nodes=8), machine("big", nodes=64)],
+            RandomRouting(seed=0),
+        )
+        result = meta.run(arrivals(jobs))
+        assert result.placements[1] == "big"
+
+    def test_job_fitting_nowhere_raises(self):
+        jobs = [make_job(job_id=1, submit_time=0.0, nodes=500)]
+        meta = MetaSimulator([machine("a", nodes=8)], RoundRobinRouting())
+        with pytest.raises(ValueError, match="fits no machine"):
+            meta.run(arrivals(jobs))
+
+    def test_random_routing_deterministic_by_seed(self):
+        jobs = [make_job(job_id=i, submit_time=float(i), nodes=1) for i in range(1, 20)]
+        r1 = MetaSimulator(
+            [machine("a"), machine("b")], RandomRouting(seed=5)
+        ).run(arrivals(jobs))
+        r2 = MetaSimulator(
+            [machine("a"), machine("b")], RandomRouting(seed=5)
+        ).run(arrivals(jobs))
+        assert r1.placements == r2.placements
+
+    def test_machine_share(self):
+        jobs = [make_job(job_id=i, submit_time=float(i), nodes=1) for i in range(1, 5)]
+        result = MetaSimulator(
+            [machine("a"), machine("b")], RoundRobinRouting()
+        ).run(arrivals(jobs))
+        assert result.machine_share("a") == pytest.approx(0.5)
+
+
+class TestLoadSensitiveRouting:
+    def _machines(self):
+        return [machine("a", nodes=16), machine("b", nodes=16)]
+
+    def test_least_work_avoids_busy_machine(self):
+        ms = self._machines()
+        # Pre-load machine a with a long queue.
+        ms[0].submit(make_job(job_id=900, submit_time=0.0, run_time=5000.0,
+                              nodes=16), 0.0)
+        ms[0].submit(make_job(job_id=901, submit_time=0.0, run_time=5000.0,
+                              nodes=16), 0.0)
+        ms[0].advance_to(1.0)
+        ms[1].advance_to(1.0)
+        strategy = LeastQueuedWorkRouting()
+        chosen = strategy.choose(ms, make_job(job_id=1, nodes=4), 1.0)
+        assert chosen.name == "b"
+
+    def test_predicted_wait_avoids_busy_machine(self):
+        ms = self._machines()
+        ms[0].submit(make_job(job_id=900, submit_time=0.0, run_time=5000.0,
+                              nodes=16), 0.0)
+        ms[0].submit(make_job(job_id=901, submit_time=0.0, run_time=5000.0,
+                              nodes=16), 0.0)
+        ms[0].advance_to(1.0)
+        ms[1].advance_to(1.0)
+        strategy = PredictedWaitRouting()
+        chosen = strategy.choose(ms, make_job(job_id=1, nodes=4), 1.0)
+        assert chosen.name == "b"
+
+    def test_predicted_wait_sees_through_queue_length(self):
+        """A machine with many *tiny* queued jobs can still be the faster
+        choice — predicted wait sees it, queue length does not."""
+        ms = [machine("many-small", nodes=16), machine("one-huge", nodes=16)]
+        for i in range(4):
+            ms[0].submit(
+                make_job(job_id=900 + i, submit_time=0.0, run_time=10.0, nodes=16),
+                0.0,
+            )
+        ms[1].submit(
+            make_job(job_id=950, submit_time=0.0, run_time=50_000.0, nodes=16), 0.0
+        )
+        for m in ms:
+            m.advance_to(1.0)
+        probe = make_job(job_id=1, nodes=16)
+        fast = PredictedWaitRouting().choose(ms, probe, 1.0)
+        assert fast.name == "many-small"
+
+    def test_end_to_end_predicted_beats_round_robin(self):
+        """On an asymmetric federation, informed routing lowers waits."""
+
+        def build(strategy):
+            ms = [
+                Machine("big", BackfillPolicy(),
+                        PointEstimator(ActualRuntimePredictor()), 32),
+                Machine("small", BackfillPolicy(),
+                        PointEstimator(ActualRuntimePredictor()), 8),
+            ]
+            return MetaSimulator(ms, strategy)
+
+        jobs = [
+            make_job(job_id=i, submit_time=float(i * 50), run_time=2000.0,
+                     nodes=8)
+            for i in range(1, 25)
+        ]
+        rr = build(RoundRobinRouting()).run(arrivals(jobs))
+        pw = build(PredictedWaitRouting()).run(arrivals(jobs))
+        assert pw.mean_wait_minutes <= rr.mean_wait_minutes

@@ -1,0 +1,147 @@
+"""Tests for recorded prediction workloads (§2.1 methodology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.ga import GAConfig, TemplateSearch
+from repro.predictors.prediction_workload import (
+    Insertion,
+    PredictionRequest,
+    PredictionWorkload,
+    record_prediction_workload,
+    replay_workload_error,
+)
+from repro.predictors.simple import ActualRuntimePredictor, MaxRuntimePredictor
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.templates import Template
+from repro.workloads.job import Trace
+from repro.workloads.transform import head
+from tests.conftest import make_job
+
+
+@pytest.fixture(scope="module")
+def anl_small():
+    from repro.workloads.archive import load_paper_workload
+
+    return load_paper_workload("ANL", n_jobs=200)
+
+
+class TestRecording:
+    def test_every_job_inserted_once(self, anl_small):
+        wl = record_prediction_workload(anl_small, "lwf")
+        inserted = [e.job.job_id for e in wl.events if isinstance(e, Insertion)]
+        assert sorted(inserted) == sorted(j.job_id for j in anl_small)
+
+    def test_events_time_ordered(self, anl_small):
+        wl = record_prediction_workload(anl_small, "backfill")
+        times = [e.time for e in wl.events]
+        assert times == sorted(times)
+
+    def test_backfill_requests_include_running_jobs(self, anl_small):
+        """Backfill predicts running jobs (elapsed > 0); LWF does not."""
+        bf = record_prediction_workload(anl_small, "backfill")
+        lwf = record_prediction_workload(anl_small, "lwf")
+        bf_elapsed = [
+            e.elapsed
+            for e in bf.events
+            if isinstance(e, PredictionRequest) and e.elapsed > 0
+        ]
+        lwf_elapsed = [
+            e.elapsed
+            for e in lwf.events
+            if isinstance(e, PredictionRequest) and e.elapsed > 0
+        ]
+        assert bf_elapsed  # conditions on elapsed time
+        assert not lwf_elapsed  # only waiting jobs are predicted
+
+    def test_fcfs_generates_no_requests(self, anl_small):
+        """FCFS never consults run-time estimates."""
+        wl = record_prediction_workload(anl_small, "fcfs")
+        assert wl.n_requests == 0
+        assert wl.n_insertions == len(anl_small)
+
+    def test_backfill_heavier_than_lwf(self, anl_small):
+        """Backfill predicts strictly more (running + waiting jobs)."""
+        bf = record_prediction_workload(anl_small, "backfill")
+        lwf = record_prediction_workload(anl_small, "lwf")
+        assert bf.n_requests >= lwf.n_requests
+
+    def test_name_encodes_pair(self, anl_small):
+        wl = record_prediction_workload(anl_small, "lwf")
+        assert wl.name == "ANL/lwf"
+
+
+class TestSubsample:
+    def _workload(self, n_req=10, n_ins=4):
+        events = []
+        for i in range(n_req):
+            events.append(
+                PredictionRequest(job=make_job(job_id=i + 1), elapsed=0.0,
+                                  time=float(i))
+            )
+            if i % 3 == 0 and i // 3 < n_ins:
+                events.append(Insertion(job=make_job(job_id=100 + i), time=float(i)))
+        return PredictionWorkload(name="w", events=tuple(events))
+
+    def test_caps_requests_keeps_insertions(self):
+        wl = self._workload()
+        sub = wl.subsample(4)
+        assert sub.n_requests == 4
+        assert sub.n_insertions == wl.n_insertions
+
+    def test_noop_when_under_cap(self):
+        wl = self._workload()
+        assert wl.subsample(100) is wl
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._workload().subsample(0)
+
+
+class TestReplayWorkloadError:
+    def test_oracle_zero_error(self, anl_small):
+        wl = record_prediction_workload(anl_small, "lwf")
+        assert replay_workload_error(wl, ActualRuntimePredictor()) == pytest.approx(0.0)
+
+    def test_smith_beats_max_on_recorded_stream(self, anl_small):
+        wl = record_prediction_workload(anl_small, "backfill")
+        smith_err = replay_workload_error(
+            wl, SmithPredictor.for_trace(anl_small)
+        )
+        max_err = replay_workload_error(
+            wl, MaxRuntimePredictor.from_trace(anl_small)
+        )
+        assert smith_err < max_err
+
+    def test_empty_workload(self):
+        wl = PredictionWorkload(name="empty", events=())
+        assert replay_workload_error(wl, ActualRuntimePredictor()) == 0.0
+
+    def test_insertions_affect_later_requests(self):
+        job_hist = make_job(job_id=1, user="a", run_time=100.0)
+        job_hist2 = make_job(job_id=2, user="a", run_time=120.0)
+        probe = make_job(job_id=3, user="a", run_time=110.0)
+        wl = PredictionWorkload(
+            name="w",
+            events=(
+                Insertion(job=job_hist, time=0.0),
+                Insertion(job=job_hist2, time=1.0),
+                PredictionRequest(job=probe, elapsed=0.0, time=2.0),
+            ),
+        )
+        err = replay_workload_error(
+            wl, SmithPredictor([Template(characteristics=("u",))])
+        )
+        assert err == pytest.approx(0.0)  # mean(100, 120) == 110
+
+
+class TestGAWithPredictionWorkload:
+    def test_search_runs_on_recorded_stream(self, anl_small):
+        wl = record_prediction_workload(anl_small, "backfill")
+        cfg = GAConfig(population=6, generations=2, eval_jobs=150, seed=0)
+        search = TemplateSearch(anl_small, config=cfg, prediction_workload=wl)
+        templates, history = search.run()
+        assert 1 <= len(templates) <= 10
+        assert len(history.best_errors) == 2
+        assert history.best_errors[-1] <= history.best_errors[0] + 1e-9

@@ -1,0 +1,213 @@
+"""Tests for the genetic-algorithm template search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.ga import (
+    GAConfig,
+    TemplateGenome,
+    TemplateSearch,
+    search_templates,
+)
+from repro.predictors.templates import ESTIMATOR_KINDS, Template
+
+
+def genome(chars=("u", "e"), has_max=True):
+    return TemplateGenome(chars, has_max)
+
+
+class TestConfig:
+    def test_odd_population_rejected(self):
+        with pytest.raises(ValueError):
+            GAConfig(population=5)
+
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ValueError):
+            GAConfig(population=2)
+
+    def test_bad_mutation_rate(self):
+        with pytest.raises(ValueError):
+            GAConfig(mutation_rate=1.5)
+
+    def test_max_templates_cap(self):
+        with pytest.raises(ValueError):
+            GAConfig(max_templates=11)
+
+
+class TestGenome:
+    def test_bit_width(self):
+        g = genome(chars=("u", "e", "a"))
+        # 2 est + 1 rel + 3 chars + 1+4 nodes + 1+4 history = 16.
+        assert g.bits_per_template == 16
+
+    def test_encode_decode_roundtrip(self):
+        g = genome()
+        t = Template(
+            characteristics=("u",),
+            node_range_size=8,
+            max_history=64,
+            relative=True,
+            estimator="log",
+        )
+        assert g.decode(g.encode(t)) == t
+
+    def test_roundtrip_no_optional_parts(self):
+        g = genome()
+        t = Template(characteristics=("u", "e"))
+        assert g.decode(g.encode(t)) == t
+
+    def test_relative_forced_off_without_max(self):
+        g = genome(has_max=False)
+        bits = np.zeros(g.bits_per_template, dtype=np.int8)
+        bits[2] = 1  # relative flag set
+        assert g.decode(bits).relative is False
+
+    def test_node_exponent_clamped(self):
+        g = genome()
+        t = Template(node_range_size=512)
+        bits = g.encode(t)
+        decoded = g.decode(bits)
+        assert decoded.node_range_size == 512
+        # All-ones exponent (15) clamps to 2^9 = 512.
+        bits2 = bits.copy()
+        offset = 3 + 2  # est(2) + rel(1) + chars(2) -> node flag at index 5
+        bits2[offset] = 1
+        bits2[offset + 1 : offset + 5] = 1
+        assert g.decode(bits2).node_range_size == 512
+
+    def test_history_range(self):
+        g = genome()
+        for hist in (2, 256, 65536):
+            t = Template(max_history=hist)
+            assert g.decode(g.encode(t)).max_history == hist
+
+    def test_estimator_bits(self):
+        g = genome()
+        for kind in ESTIMATOR_KINDS:
+            t = Template(estimator=kind)
+            assert g.decode(g.encode(t)).estimator == kind
+
+    def test_random_individual_size(self):
+        g = genome()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            ind = g.random_individual(rng, 10)
+            assert 1 <= len(ind) <= 10
+            assert all(t.shape == (g.bits_per_template,) for t in ind)
+
+    def test_wrong_width_rejected(self):
+        g = genome()
+        with pytest.raises(ValueError):
+            g.decode(np.zeros(3, dtype=np.int8))
+
+    @given(data=st.data())
+    @settings(max_examples=60)
+    def test_property_any_bitstring_decodes_to_valid_template(self, data):
+        g = genome(chars=("u", "e", "a"))
+        bits = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, 1),
+                    min_size=g.bits_per_template,
+                    max_size=g.bits_per_template,
+                )
+            ),
+            dtype=np.int8,
+        )
+        t = g.decode(bits)  # must not raise: every genome is a valid template
+        assert t.estimator in ESTIMATOR_KINDS
+        if t.node_range_size is not None:
+            assert 1 <= t.node_range_size <= 512
+        if t.max_history is not None:
+            assert 2 <= t.max_history <= 65536
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def search(self, anl_trace):
+        cfg = GAConfig(population=8, generations=3, eval_jobs=150, seed=0)
+        return TemplateSearch(anl_trace, config=cfg)
+
+    def test_crossover_respects_cap(self, search):
+        rng = np.random.default_rng(0)
+        g = search.genome
+        p1 = [rng.integers(0, 2, g.bits_per_template).astype(np.int8) for _ in range(10)]
+        p2 = [rng.integers(0, 2, g.bits_per_template).astype(np.int8) for _ in range(10)]
+        for _ in range(25):
+            c1, c2 = search._crossover(p1, p2, rng)
+            assert 1 <= len(c1) <= 10
+            assert 1 <= len(c2) <= 10
+
+    def test_crossover_children_are_copies(self, search):
+        rng = np.random.default_rng(1)
+        g = search.genome
+        p1 = [np.zeros(g.bits_per_template, dtype=np.int8)]
+        p2 = [np.ones(g.bits_per_template, dtype=np.int8)]
+        c1, _ = search._crossover(p1, p2, rng)
+        c1[0][:] = 9
+        assert p1[0].sum() == 0 and p2[0].sum() == g.bits_per_template
+
+    def test_mutation_rate_zero_is_identity(self, anl_trace):
+        cfg = GAConfig(population=8, generations=1, mutation_rate=0.0, seed=0)
+        s = TemplateSearch(anl_trace, config=cfg)
+        rng = np.random.default_rng(0)
+        ind = [np.zeros(s.genome.bits_per_template, dtype=np.int8)]
+        s._mutate(ind, rng)
+        assert ind[0].sum() == 0
+
+    def test_fitness_scaling(self, search):
+        errors = np.array([10.0, 20.0, 30.0])
+        f = search._fitnesses(errors)
+        # Best gets F_max = 4*F_min, worst gets F_min.
+        assert f[0] == pytest.approx(4.0 * search.config.fitness_min)
+        assert f[2] == pytest.approx(search.config.fitness_min)
+        assert f[0] > f[1] > f[2]
+
+    def test_fitness_equal_errors(self, search):
+        f = search._fitnesses(np.array([5.0, 5.0]))
+        assert f[0] == f[1]
+
+    def test_error_cached(self, search):
+        rng = np.random.default_rng(2)
+        ind = search.genome.random_individual(rng, 3)
+        e1 = search.error(ind)
+        e2 = search.error(ind)
+        assert e1 == e2
+
+    def test_run_returns_templates_and_history(self, anl_trace):
+        cfg = GAConfig(population=6, generations=3, eval_jobs=120, seed=1)
+        templates, history = search_templates(anl_trace, config=cfg)
+        assert 1 <= len(templates) <= 10
+        assert all(isinstance(t, Template) for t in templates)
+        assert len(history.best_errors) == 3
+        # Elitism guarantees the best error never worsens.
+        assert history.best_errors == sorted(history.best_errors, reverse=True) or all(
+            b <= history.best_errors[0] for b in history.best_errors
+        )
+
+    def test_best_error_monotone_nonincreasing(self, anl_trace):
+        cfg = GAConfig(population=8, generations=4, eval_jobs=120, seed=3)
+        _, history = search_templates(anl_trace, config=cfg)
+        for a, b in zip(history.best_errors, history.best_errors[1:]):
+            assert b <= a + 1e-9
+
+    def test_deterministic_given_seed(self, anl_trace):
+        cfg = GAConfig(population=6, generations=2, eval_jobs=100, seed=5)
+        t1, h1 = search_templates(anl_trace, config=cfg)
+        t2, h2 = search_templates(anl_trace, config=cfg)
+        assert t1 == t2
+        assert h1.best_errors == h2.best_errors
+
+    def test_characteristics_restricted_to_trace(self, sdsc_trace):
+        cfg = GAConfig(population=6, generations=2, eval_jobs=100, seed=0)
+        templates, _ = search_templates(sdsc_trace, config=cfg)
+        used = {c for t in templates for c in t.characteristics}
+        assert used <= {"q", "u"}
+
+    def test_no_characteristics_raises(self, anl_trace):
+        with pytest.raises(ValueError, match="no categorical"):
+            TemplateSearch(anl_trace, characteristics=())

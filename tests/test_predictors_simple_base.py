@@ -1,0 +1,159 @@
+"""Tests for simple predictors and the PointEstimator adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.base import PointEstimator, Prediction
+from repro.predictors.simple import ActualRuntimePredictor, MaxRuntimePredictor
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+
+class TestPrediction:
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Prediction(estimate=10.0, interval=-1.0)
+
+
+class TestActual:
+    def test_oracle(self):
+        p = ActualRuntimePredictor()
+        job = make_job(run_time=123.0)
+        pred = p.predict(job)
+        assert pred.estimate == 123.0
+        assert pred.interval == 0.0
+
+
+class TestMaxRuntime:
+    def test_user_supplied_max(self):
+        p = MaxRuntimePredictor()
+        pred = p.predict(make_job(max_run_time=3600.0))
+        assert pred.estimate == 3600.0
+        assert pred.source == "max:user"
+
+    def test_from_trace_derives_queue_maxima(self):
+        """The paper's SDSC derivation: longest job per queue (§3)."""
+        jobs = [
+            make_job(job_id=1, queue="q16s", run_time=100.0),
+            make_job(job_id=2, queue="q16s", run_time=500.0),
+            make_job(job_id=3, queue="q64l", run_time=9000.0),
+        ]
+        trace = Trace(jobs, total_nodes=64)
+        p = MaxRuntimePredictor.from_trace(trace)
+        pred = p.predict(make_job(queue="q16s", max_run_time=None))
+        assert pred.estimate == 500.0
+        assert pred.source == "max:queue"
+        pred2 = p.predict(make_job(queue="q64l", max_run_time=None))
+        assert pred2.estimate == 9000.0
+
+    def test_user_max_wins_over_queue(self):
+        p = MaxRuntimePredictor({"q": 1000.0})
+        pred = p.predict(make_job(queue="q", max_run_time=50.0))
+        assert pred.estimate == 50.0
+
+    def test_unknown_queue_falls_to_global(self):
+        p = MaxRuntimePredictor({"q": 1000.0})
+        pred = p.predict(make_job(queue="other", max_run_time=None))
+        assert pred.estimate == 1000.0
+        assert pred.source == "max:global"
+
+    def test_nothing_known_returns_none(self):
+        p = MaxRuntimePredictor()
+        assert p.predict(make_job(queue=None, max_run_time=None)) is None
+
+    def test_online_learning_when_not_static(self):
+        p = MaxRuntimePredictor()
+        p.on_finish(make_job(queue="q", run_time=700.0), 0.0)
+        pred = p.predict(make_job(queue="q", max_run_time=None))
+        assert pred.estimate == 700.0
+
+    def test_static_mode_does_not_learn(self):
+        p = MaxRuntimePredictor({"q": 100.0})
+        p.on_finish(make_job(queue="q", run_time=900.0), 0.0)
+        assert p.predict(make_job(queue="q", max_run_time=None)).estimate == 100.0
+
+
+class TestPointEstimator:
+    def test_uses_predictor_estimate(self):
+        est = PointEstimator(ActualRuntimePredictor())
+        assert est.predict(make_job(run_time=42.0), 0.0, 0.0) == 42.0
+
+    def test_falls_back_to_max(self):
+        class Never:
+            name = "never"
+
+            def predict(self, job, elapsed=0.0, now=0.0):
+                return None
+
+            def on_submit(self, job, now):
+                pass
+
+            def on_start(self, job, now):
+                pass
+
+            def on_finish(self, job, now):
+                pass
+
+        est = PointEstimator(Never())
+        assert est.predict(make_job(max_run_time=999.0), 0.0, 0.0) == 999.0
+
+    def test_falls_back_to_completed_mean(self):
+        from repro.predictors.smith import SmithPredictor
+        from repro.predictors.templates import Template
+
+        est = PointEstimator(SmithPredictor([Template(characteristics=("e",))]))
+        est.on_finish(make_job(run_time=100.0, executable="a"), 0.0)
+        est.on_finish(make_job(run_time=300.0, executable="b"), 0.0)
+        # Unknown executable, no user max: completed mean = 200.
+        value = est.predict(
+            make_job(executable="zzz", max_run_time=None), 0.0, 0.0
+        )
+        assert value == pytest.approx(200.0)
+
+    def test_falls_back_to_default(self):
+        from repro.predictors.smith import SmithPredictor
+        from repro.predictors.templates import Template
+
+        est = PointEstimator(
+            SmithPredictor([Template()]), default=777.0
+        )
+        assert est.predict(make_job(max_run_time=None), 0.0, 0.0) == 777.0
+
+    def test_clamps_to_elapsed(self):
+        est = PointEstimator(ActualRuntimePredictor())
+        assert est.predict(make_job(run_time=10.0), 500.0, 0.0) == 500.0
+
+    def test_cap_at_max(self):
+        est = PointEstimator(ActualRuntimePredictor(), cap_at_max=True)
+        job = make_job(run_time=1000.0, max_run_time=600.0)
+        assert est.predict(job, 0.0, 0.0) == 600.0
+
+    def test_no_cap_by_default(self):
+        est = PointEstimator(ActualRuntimePredictor())
+        job = make_job(run_time=1000.0, max_run_time=600.0)
+        assert est.predict(job, 0.0, 0.0) == 1000.0
+
+    def test_invalid_default(self):
+        with pytest.raises(ValueError):
+            PointEstimator(ActualRuntimePredictor(), default=0.0)
+
+    def test_forwards_lifecycle(self):
+        calls = []
+
+        class Spy(ActualRuntimePredictor):
+            def on_finish(self, job, now):
+                calls.append(job.job_id)
+
+        est = PointEstimator(Spy())
+        est.on_finish(make_job(job_id=7), 0.0)
+        assert calls == [7]
+
+    def test_disable_max_fallback(self):
+        from repro.predictors.smith import SmithPredictor
+        from repro.predictors.templates import Template
+
+        est = PointEstimator(
+            SmithPredictor([Template()]), fall_back_to_max=False, default=5.0
+        )
+        assert est.predict(make_job(max_run_time=100.0), 0.0, 0.0) == 5.0

@@ -1,0 +1,126 @@
+"""Tests for repro.predictors.templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.templates import Template, default_templates
+from tests.conftest import make_job
+
+
+class TestTemplateValidation:
+    def test_unknown_characteristic(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Template(characteristics=("z",))
+
+    def test_duplicate_characteristic(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Template(characteristics=("u", "u"))
+
+    def test_bad_node_range(self):
+        with pytest.raises(ValueError):
+            Template(node_range_size=0)
+
+    def test_bad_history(self):
+        with pytest.raises(ValueError):
+            Template(max_history=0)
+
+    def test_bad_estimator(self):
+        with pytest.raises(ValueError, match="estimator"):
+            Template(estimator="spline")
+
+    def test_empty_template_valid(self):
+        t = Template()
+        assert t.characteristics == ()
+        assert not t.uses_nodes
+
+
+class TestNodeBinning:
+    def test_paper_example(self):
+        """(u, n=4): nodes 1-4 in one category, 5-8 in the next (§2.1)."""
+        t = Template(characteristics=("u",), node_range_size=4)
+        assert t.node_bin(1) == t.node_bin(4) == 0
+        assert t.node_bin(5) == t.node_bin(8) == 1
+        assert t.node_bin(9) == 2
+
+    def test_range_size_one(self):
+        t = Template(node_range_size=1)
+        assert [t.node_bin(n) for n in (1, 2, 3)] == [0, 1, 2]
+
+    def test_node_bin_without_nodes_raises(self):
+        with pytest.raises(ValueError):
+            Template().node_bin(4)
+
+
+class TestCategoryKey:
+    def test_key_includes_characteristics_in_order(self):
+        t = Template(characteristics=("u", "e"))
+        job = make_job(user="wsmith", executable="a.out")
+        assert t.category_key(job) == ("wsmith", "a.out")
+
+    def test_key_appends_node_bin(self):
+        t = Template(characteristics=("u",), node_range_size=4)
+        job = make_job(user="wsmith", nodes=6)
+        assert t.category_key(job) == ("wsmith", 1)
+
+    def test_missing_characteristic_gives_none(self):
+        t = Template(characteristics=("q",))
+        assert t.category_key(make_job(queue=None)) is None
+
+    def test_relative_requires_max_run_time(self):
+        t = Template(characteristics=("u",), relative=True)
+        assert t.category_key(make_job(max_run_time=None)) is None
+        assert t.category_key(make_job(max_run_time=100.0)) == ("alice",)
+
+    def test_empty_template_matches_everything(self):
+        assert Template().category_key(make_job(user=None)) == ()
+
+    def test_jobs_in_same_category_share_key(self):
+        t = Template(characteristics=("u",), node_range_size=8)
+        a = make_job(user="x", nodes=3)
+        b = make_job(user="x", nodes=8)
+        c = make_job(user="x", nodes=9)
+        assert t.category_key(a) == t.category_key(b)
+        assert t.category_key(a) != t.category_key(c)
+
+
+class TestDescribe:
+    def test_paper_style(self):
+        t = Template(characteristics=("u", "e"), node_range_size=4)
+        assert t.describe() == "(u, e, n=4)"
+
+    def test_modifiers_listed(self):
+        t = Template(
+            characteristics=("u",), relative=True, estimator="log", max_history=32
+        )
+        assert t.describe() == "(u) [rel, log, hist=32]"
+
+
+class TestDefaultTemplates:
+    def test_always_includes_global(self):
+        templates = default_templates(frozenset())
+        assert Template() in templates
+
+    def test_restricted_to_available(self):
+        templates = default_templates(frozenset({"u"}))
+        for t in templates:
+            assert set(t.characteristics) <= {"u"}
+
+    def test_relative_only_with_max(self):
+        with_max = default_templates(frozenset({"u", "e"}), has_max_run_time=True)
+        without = default_templates(frozenset({"u", "e"}), has_max_run_time=False)
+        assert any(t.relative for t in with_max)
+        assert not any(t.relative for t in without)
+
+    def test_no_duplicates(self):
+        templates = default_templates(frozenset({"u", "e", "q"}), has_max_run_time=True)
+        assert len(templates) == len(set(templates))
+
+    def test_node_ranged_variant_present(self):
+        templates = default_templates(frozenset({"u"}))
+        assert any(t.node_range_size is not None for t in templates)
+
+    def test_none_means_all(self):
+        templates = default_templates(None)
+        chars = {c for t in templates for c in t.characteristics}
+        assert "u" in chars and "e" in chars and "q" in chars

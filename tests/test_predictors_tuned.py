@@ -1,0 +1,123 @@
+"""Tests for the GA-tuned template sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_predictor
+from repro.predictors.replay import replay_prediction_error
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.templates import Template
+from repro.predictors.tuned import (
+    TUNED_TEMPLATES,
+    TUNED_TEMPLATES_BY_ALGORITHM,
+    tuned_templates,
+)
+from repro.workloads.fields import WORKLOAD_FIELDS
+
+
+class TestTunedTemplates:
+    def test_all_four_workloads_covered(self):
+        assert set(TUNED_TEMPLATES) == {"ANL", "CTC", "SDSC95", "SDSC96"}
+
+    def test_template_counts_within_paper_cap(self):
+        for name, templates in TUNED_TEMPLATES.items():
+            assert 1 <= len(templates) <= 10, name
+
+    def test_all_templates_valid(self):
+        for templates in TUNED_TEMPLATES.values():
+            for t in templates:
+                assert isinstance(t, Template)  # ctor already validated
+
+    def test_characteristics_match_workload_fields(self):
+        """Tuned sets only reference fields their workload records."""
+        for name, templates in TUNED_TEMPLATES.items():
+            available = WORKLOAD_FIELDS[name].available
+            for t in templates:
+                assert set(t.characteristics) <= available, (name, t)
+
+    def test_relative_only_where_maxima_exist(self):
+        for name, templates in TUNED_TEMPLATES.items():
+            if not WORKLOAD_FIELDS[name].has_max_run_time:
+                assert not any(t.relative for t in templates), name
+
+    def test_lookup_helper(self):
+        assert tuned_templates("ANL") is TUNED_TEMPLATES["ANL"]
+        with pytest.raises(KeyError, match="no tuned template set"):
+            tuned_templates("LANL")
+
+
+class TestPerAlgorithmSets:
+    def test_all_eight_pairs_present(self):
+        expected = {
+            (w, a)
+            for w in ("ANL", "CTC", "SDSC95", "SDSC96")
+            for a in ("lwf", "backfill")
+        }
+        assert set(TUNED_TEMPLATES_BY_ALGORITHM) == expected
+
+    def test_counts_within_cap(self):
+        for key, templates in TUNED_TEMPLATES_BY_ALGORITHM.items():
+            assert 1 <= len(templates) <= 10, key
+
+    def test_characteristics_match_workload(self):
+        for (w, _a), templates in TUNED_TEMPLATES_BY_ALGORITHM.items():
+            available = WORKLOAD_FIELDS[w].available
+            for t in templates:
+                assert set(t.characteristics) <= available, (w, t)
+
+    def test_relative_only_with_maxima(self):
+        for (w, _a), templates in TUNED_TEMPLATES_BY_ALGORITHM.items():
+            if not WORKLOAD_FIELDS[w].has_max_run_time:
+                assert not any(t.relative for t in templates), w
+
+    def test_lookup_with_algorithm(self):
+        assert (
+            tuned_templates("ANL", "lwf")
+            is TUNED_TEMPLATES_BY_ALGORITHM[("ANL", "lwf")]
+        )
+
+    def test_lookup_falls_back_for_fcfs(self):
+        assert tuned_templates("ANL", "fcfs") is TUNED_TEMPLATES["ANL"]
+
+    def test_per_algorithm_sets_usable(self, anl_trace):
+        """Each set drives a real predictor without errors."""
+        from repro.predictors.replay import replay_prediction_error
+
+        for algo in ("lwf", "backfill"):
+            p = SmithPredictor(tuned_templates("ANL", algo))
+            report = replay_prediction_error(anl_trace, p)
+            assert report.mean_abs_error >= 0.0
+            assert report.n_predicted > 0
+
+
+class TestRegistryIntegration:
+    def test_smith_tuned_uses_tuned_set(self, anl_trace):
+        p = make_predictor("smith-tuned", anl_trace)
+        assert isinstance(p, SmithPredictor)
+        assert p.templates == TUNED_TEMPLATES["ANL"]
+
+    def test_smith_tuned_falls_back_for_unknown_trace(self, anl_trace):
+        from repro.workloads.transform import head
+
+        other = head(anl_trace, 50, name="custom")
+        p = make_predictor("smith-tuned", other)
+        assert isinstance(p, SmithPredictor)
+
+    def test_compressed_trace_name_resolves(self, sdsc_trace):
+        from repro.workloads.transform import compress_interarrival
+
+        hard = compress_interarrival(sdsc_trace, 2.0)  # name "SDSC95x2"
+        p = make_predictor("smith-tuned", hard)
+        assert p.templates == TUNED_TEMPLATES["SDSC95"]
+
+    def test_tuned_beats_or_matches_defaults_on_anl(self, anl_trace):
+        tuned = replay_prediction_error(
+            anl_trace, make_predictor("smith-tuned", anl_trace)
+        )
+        default = replay_prediction_error(
+            anl_trace, make_predictor("smith", anl_trace)
+        )
+        # Searched on these synthetic workloads; at worst a small loss on
+        # a different slice length.
+        assert tuned.mean_abs_error <= default.mean_abs_error * 1.15

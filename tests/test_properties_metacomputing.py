@@ -1,0 +1,78 @@
+"""Property-based tests for the metacomputing broker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metacomputing import (
+    LeastQueuedWorkRouting,
+    Machine,
+    MetaSimulator,
+    PredictedWaitRouting,
+    RandomRouting,
+    RoundRobinRouting,
+)
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import ActualRuntimePredictor
+from repro.scheduler.policies import FCFSPolicy
+from repro.scheduler.validate import validate_schedule
+from repro.workloads.job import Job, Trace
+
+_SIZES = (8, 16, 32)
+
+
+@st.composite
+def streams(draw):
+    n = draw(st.integers(1, 15))
+    jobs = [
+        Job(
+            job_id=i + 1,
+            submit_time=draw(st.floats(0, 400)),
+            run_time=draw(st.floats(0, 200)),
+            nodes=draw(st.integers(1, min(_SIZES))),
+            user=draw(st.sampled_from(["a", "b"])),
+        )
+        for i in range(n)
+    ]
+    return Trace(jobs, total_nodes=max(_SIZES), name="stream")
+
+
+def _machines():
+    return [
+        Machine(f"m{s}", FCFSPolicy(), PointEstimator(ActualRuntimePredictor()), s)
+        for s in _SIZES
+    ]
+
+
+_STRATEGIES = [
+    lambda: RandomRouting(seed=0),
+    RoundRobinRouting,
+    LeastQueuedWorkRouting,
+    PredictedWaitRouting,
+]
+
+
+@pytest.mark.parametrize("strategy_factory", _STRATEGIES)
+@given(stream=streams())
+@settings(max_examples=25, deadline=None)
+def test_property_broker_invariants(strategy_factory, stream):
+    """Any strategy: every job placed exactly once, every machine's
+    schedule is feasible for the jobs it received."""
+    meta = MetaSimulator(_machines(), strategy_factory())
+    result = meta.run(stream)
+    assert set(result.placements) == {j.job_id for j in stream}
+    # Shares sum to one.
+    shares = [result.machine_share(m.name) for m in meta.machines]
+    assert sum(shares) == pytest.approx(1.0)
+    # Per-machine schedules are valid for the routed subsets.
+    for m in meta.machines:
+        routed = [
+            j for j in stream if result.placements[j.job_id] == m.name
+        ]
+        sub = Trace(routed, total_nodes=m.total_nodes, name=m.name)
+        report = validate_schedule(sub, result.per_machine[m.name])
+        assert report.ok, report.violations
+    assert result.n_jobs == len(stream)
+    assert result.mean_wait_minutes >= 0.0

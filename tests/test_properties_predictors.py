@@ -1,0 +1,142 @@
+"""Property-based tests on predictor and workload invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.base import PointEstimator, warm_start
+from repro.predictors.downey import DowneyPredictor
+from repro.predictors.gibbons import GibbonsPredictor
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.templates import Template
+from repro.workloads.job import Job, Trace
+from repro.workloads.swf import job_to_swf_line, parse_swf_lines
+
+# ---------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------
+users = st.sampled_from(["alice", "bob", "carol"])
+executables = st.sampled_from(["sim", "solver", "render", None])
+queues = st.sampled_from(["q16s", "q64l", None])
+
+
+@st.composite
+def jobs(draw, job_id=None):
+    return Job(
+        job_id=draw(st.integers(1, 10**6)) if job_id is None else job_id,
+        submit_time=draw(st.floats(0, 1e6)),
+        run_time=draw(st.floats(0, 1e5)),
+        nodes=draw(st.integers(1, 128)),
+        user=draw(users),
+        executable=draw(executables),
+        queue=draw(queues),
+        max_run_time=draw(st.one_of(st.none(), st.floats(1.0, 2e5))),
+    )
+
+
+@st.composite
+def job_batches(draw, min_size=2, max_size=25):
+    n = draw(st.integers(min_size, max_size))
+    return [draw(jobs(job_id=i + 1)) for i in range(n)]
+
+
+# ---------------------------------------------------------------------
+# SWF round trip
+# ---------------------------------------------------------------------
+@given(batch=job_batches())
+@settings(max_examples=60, deadline=None)
+def test_property_swf_roundtrip_preserves_schedulable_fields(batch):
+    batch = [j for j in batch if j.run_time >= 1.0]
+    assume(batch)
+    trace = Trace(batch, total_nodes=128)
+    lines = [job_to_swf_line(j) for j in trace]
+    back = parse_swf_lines(["; MaxNodes: 128"] + lines)
+    assert len(back) == len(trace)
+    # SWF stores integer seconds, which can reorder equal-after-rounding
+    # submissions; match records by job id.
+    by_id = {j.job_id: j for j in back}
+    for orig in trace:
+        rt = by_id[orig.job_id]
+        assert rt.nodes == orig.nodes
+        assert abs(rt.run_time - orig.run_time) <= 0.5
+        assert abs(rt.submit_time - orig.submit_time) <= 0.5
+        if orig.max_run_time is not None:
+            assert rt.max_run_time == pytest.approx(orig.max_run_time, abs=0.5)
+
+
+# ---------------------------------------------------------------------
+# predictor invariants
+# ---------------------------------------------------------------------
+_PREDICTOR_FACTORIES = [
+    lambda: SmithPredictor(
+        [Template(), Template(characteristics=("u",)),
+         Template(characteristics=("u", "e"), node_range_size=8)]
+    ),
+    lambda: GibbonsPredictor(),
+    lambda: DowneyPredictor("median"),
+    lambda: DowneyPredictor("average"),
+]
+
+
+@pytest.mark.parametrize("factory", _PREDICTOR_FACTORIES)
+@given(history=job_batches(min_size=3), probe=jobs(job_id=999_999),
+       elapsed=st.floats(0, 1e4))
+@settings(max_examples=50, deadline=None)
+def test_property_predictions_respect_elapsed_floor(factory, history, probe, elapsed):
+    """Any predictor, any history: estimates are finite, positive, and
+    never below the job's elapsed run time."""
+    predictor = warm_start(factory(), history)
+    pred = predictor.predict(probe, elapsed, 0.0)
+    if pred is not None:
+        assert np.isfinite(pred.estimate)
+        assert pred.estimate >= elapsed - 1e-9
+        assert pred.estimate >= 0.0
+        assert pred.interval >= 0.0
+
+
+@given(history=job_batches(min_size=3), probe=jobs(job_id=999_999))
+@settings(max_examples=50, deadline=None)
+def test_property_point_estimator_always_produces_a_number(history, probe):
+    est = PointEstimator(
+        SmithPredictor([Template(characteristics=("u", "e"))])
+    )
+    for job in history:
+        est.on_finish(job, job.submit_time + job.run_time)
+    value = est.predict(probe, 0.0, 0.0)
+    assert np.isfinite(value)
+    # Zero is legitimate (a history of zero-length jobs); negative never.
+    assert value >= 0.0
+
+
+@given(history=job_batches(min_size=4))
+@settings(max_examples=40, deadline=None)
+def test_property_smith_insertion_order_irrelevant_without_history_cap(history):
+    """Unbounded categories are order-insensitive for mean templates."""
+    probe = history[0].with_(job_id=999_999)
+    a = warm_start(SmithPredictor([Template(characteristics=("u",))]), history)
+    b = warm_start(
+        SmithPredictor([Template(characteristics=("u",))]), list(reversed(history))
+    )
+    pa = a.predict(probe)
+    pb = b.predict(probe)
+    assert (pa is None) == (pb is None)
+    if pa is not None:
+        assert pa.estimate == pytest.approx(pb.estimate, rel=1e-9)
+
+
+@given(history=job_batches(min_size=6), cap=st.integers(2, 5))
+@settings(max_examples=40, deadline=None)
+def test_property_history_cap_keeps_newest(history, cap):
+    probe = history[-1].with_(job_id=999_999)
+    capped = warm_start(
+        SmithPredictor([Template(characteristics=(), max_history=cap)]), history
+    )
+    manual = [j.run_time for j in history][-cap:]
+    pred = capped.predict(probe)
+    if len(manual) >= 2 and pred is not None:
+        assert pred.estimate == pytest.approx(
+            max(float(np.mean(manual)), 0.0), rel=1e-9, abs=1e-6
+        )

@@ -1,0 +1,103 @@
+"""Tests for repro.scheduler.cluster and repro.scheduler.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler.cluster import NodePool
+from repro.scheduler.events import FINISH, SUBMIT, EventQueue
+
+
+class TestNodePool:
+    def test_initial_state(self):
+        pool = NodePool(16)
+        assert pool.total == 16
+        assert pool.free == 16
+        assert pool.busy == 0
+
+    def test_allocate_release_cycle(self):
+        pool = NodePool(10)
+        pool.allocate(6)
+        assert pool.free == 4
+        assert pool.busy == 6
+        pool.release(6)
+        assert pool.free == 10
+
+    def test_fits(self):
+        pool = NodePool(8)
+        pool.allocate(5)
+        assert pool.fits(3)
+        assert not pool.fits(4)
+        assert not pool.fits(0)
+
+    def test_overallocate_raises(self):
+        pool = NodePool(4)
+        with pytest.raises(RuntimeError, match="exceeds"):
+            pool.allocate(5)
+
+    def test_overrelease_raises(self):
+        pool = NodePool(4)
+        pool.allocate(2)
+        with pytest.raises(RuntimeError, match="exceeds capacity"):
+            pool.release(3)
+
+    def test_allocate_zero_raises(self):
+        with pytest.raises(ValueError):
+            NodePool(4).allocate(0)
+
+    def test_release_zero_raises(self):
+        with pytest.raises(ValueError):
+            NodePool(4).release(0)
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(ValueError):
+            NodePool(0)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(30.0, SUBMIT, "c")
+        q.push(10.0, SUBMIT, "a")
+        q.push(20.0, SUBMIT, "b")
+        assert [q.pop()[2] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_finish_before_submit_at_same_time(self):
+        q = EventQueue()
+        q.push(10.0, SUBMIT, "sub")
+        q.push(10.0, FINISH, "fin")
+        assert q.pop()[2] == "fin"
+        assert q.pop()[2] == "sub"
+
+    def test_insertion_order_tiebreak(self):
+        q = EventQueue()
+        q.push(5.0, SUBMIT, "first")
+        q.push(5.0, SUBMIT, "second")
+        assert q.pop()[2] == "first"
+        assert q.pop()[2] == "second"
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(42.0, FINISH, None)
+        assert q.peek_time() == 42.0
+        q.pop()
+        assert q.peek_time() is None
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, SUBMIT, None)
+        assert len(q) == 1
+        assert q
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(0.0, 7, None)
+
+    def test_drain(self):
+        q = EventQueue()
+        q.push(2.0, SUBMIT, "b")
+        q.push(1.0, SUBMIT, "a")
+        assert [p for _, _, p in q.drain()] == ["a", "b"]
+        assert not q

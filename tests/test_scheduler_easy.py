@@ -1,0 +1,143 @@
+"""Tests for the EASY (aggressive) backfill variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import ActualRuntimePredictor
+from repro.scheduler.policies import BackfillPolicy, EASYBackfillPolicy
+from repro.scheduler.simulator import Simulator
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+from tests.fakes import FakeView
+
+
+def ids(selection):
+    return [qj.job_id for qj in selection]
+
+
+class TestEASYSelect:
+    def test_fcfs_when_everything_fits(self):
+        view = FakeView(
+            total_nodes=10,
+            queued=[
+                make_job(job_id=1, submit_time=0, nodes=4),
+                make_job(job_id=2, submit_time=1, nodes=4),
+            ],
+        )
+        assert ids(EASYBackfillPolicy().select(view)) == [1, 2]
+
+    def test_backfills_without_delaying_head(self):
+        view = FakeView(
+            now=0.0,
+            total_nodes=10,
+            running=[(make_job(job_id=9, nodes=6, run_time=100.0), 0.0)],
+            queued=[
+                make_job(job_id=1, submit_time=0, nodes=8, run_time=50.0),
+                make_job(job_id=2, submit_time=1, nodes=4, run_time=30.0),
+            ],
+        )
+        assert ids(EASYBackfillPolicy().select(view)) == [2]
+
+    def test_refuses_backfill_that_delays_head(self):
+        view = FakeView(
+            now=0.0,
+            total_nodes=10,
+            running=[(make_job(job_id=9, nodes=6, run_time=100.0), 0.0)],
+            queued=[
+                make_job(job_id=1, submit_time=0, nodes=8, run_time=50.0),
+                make_job(job_id=2, submit_time=1, nodes=4, run_time=500.0),
+            ],
+        )
+        assert ids(EASYBackfillPolicy().select(view)) == []
+
+    def test_only_head_is_protected(self):
+        """EASY's defining behaviour: a backfill may delay the SECOND
+        blocked job, which conservative backfill would forbid."""
+        view = FakeView(
+            now=0.0,
+            total_nodes=10,
+            running=[(make_job(job_id=9, nodes=10, run_time=100.0), 0.0)],
+            queued=[
+                # Head: needs the whole machine, reserved at t=100.
+                make_job(job_id=1, submit_time=0, nodes=10, run_time=50.0),
+                # Second blocked wide job (would be reserved at 150 by
+                # conservative backfill).
+                make_job(job_id=2, submit_time=1, nodes=10, run_time=50.0),
+                # Narrow long job: fits only after the head at t=150+,
+                # delaying job 2 — conservative forbids, EASY doesn't care...
+                make_job(job_id=3, submit_time=2, nodes=1, run_time=1000.0),
+            ],
+            free_nodes=0,
+        )
+        # Machine is full: nothing starts now either way; this documents
+        # equal behaviour at zero free nodes.
+        assert ids(EASYBackfillPolicy().select(view)) == []
+        assert ids(BackfillPolicy().select(view)) == []
+
+    def test_easy_starts_job_conservative_blocks(self):
+        # Running: 9 nodes until t=100. Head (10 nodes) reserved at 100.
+        # Job 2 (10 nodes) would be conservatively reserved at 200.
+        # Job 3 (1 node, 150 s): ends at 150 <= head start? No -> would
+        # delay the head? Head needs 10 nodes at t=100; job 3 holds 1
+        # node until 150 -> delays head under both. Use a shorter job
+        # that ends before 100 but after conservative job 2's needs are
+        # irrelevant... Construct: job 3 runs 90 s (ends t=90 < 100):
+        # fine for both. To split the two policies the backfill must
+        # overlap job 2's reservation but not the head's: impossible
+        # while the head starts first on a full-width reservation — so
+        # give job 2 a *narrow* profile hole instead.
+        view = FakeView(
+            now=0.0,
+            total_nodes=10,
+            running=[(make_job(job_id=9, nodes=9, run_time=100.0), 0.0)],
+            queued=[
+                # Head: 2 nodes, fits ONLY at t=100? free=1 -> blocked now;
+                # reserved at t=100.
+                make_job(job_id=1, submit_time=0, nodes=2, run_time=1000.0),
+                # Second: 8 nodes, conservative reserves at t=100 as well
+                # (10 - 2 = 8 free).
+                make_job(job_id=2, submit_time=1, nodes=8, run_time=1000.0),
+                # Narrow 1-node job, 400 s: starting now delays nobody's
+                # head reservation (head needs 2 of 10 at t=100; 1 node
+                # held until 400 leaves 9 >= 2) but DOES delay job 2's
+                # conservative reservation (needs 8 at t=100; only
+                # 10-2-1=7 free).
+                make_job(job_id=3, submit_time=2, nodes=1, run_time=400.0),
+            ],
+        )
+        assert ids(EASYBackfillPolicy().select(view)) == [3]
+        assert ids(BackfillPolicy().select(view)) == []
+
+
+class TestEASYEndToEnd:
+    def test_invariants_on_trace(self, anl_trace):
+        sim = Simulator(
+            EASYBackfillPolicy(),
+            PointEstimator(ActualRuntimePredictor()),
+            anl_trace.total_nodes,
+        )
+        res = sim.run(anl_trace)
+        assert len(res) == len(anl_trace)
+        assert res.max_concurrent_nodes() <= anl_trace.total_nodes
+        for rec in res.records:
+            assert rec.start_time >= rec.submit_time
+
+    def test_easy_at_least_as_aggressive_as_conservative(self, anl_trace):
+        """EASY's weaker protection must not reduce utilization."""
+        est = PointEstimator(ActualRuntimePredictor())
+        easy = Simulator(EASYBackfillPolicy(), est, anl_trace.total_nodes).run(
+            anl_trace
+        )
+        conservative = Simulator(
+            BackfillPolicy(),
+            PointEstimator(ActualRuntimePredictor()),
+            anl_trace.total_nodes,
+        ).run(anl_trace)
+        assert easy.makespan <= conservative.makespan * 1.05
+
+    def test_registry_builds_easy(self):
+        from repro.core.registry import make_policy
+
+        assert isinstance(make_policy("easy"), EASYBackfillPolicy)

@@ -1,0 +1,146 @@
+"""Scheduler behaviour under changing and wrong estimates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.base import PointEstimator, RuntimePredictor, Prediction
+from repro.scheduler.policies import BackfillPolicy, EASYBackfillPolicy, LWFPolicy
+from repro.scheduler.simulator import Simulator
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+
+class Underestimator(RuntimePredictor):
+    """Believes every job runs one tenth of its true time."""
+
+    name = "under"
+
+    def predict(self, job, elapsed=0.0, now=0.0):
+        return Prediction(estimate=job.run_time / 10.0, interval=0.0)
+
+
+class Overestimator(RuntimePredictor):
+    """Believes every job runs ten times its true time."""
+
+    name = "over"
+
+    def predict(self, job, elapsed=0.0, now=0.0):
+        return Prediction(estimate=job.run_time * 10.0, interval=0.0)
+
+
+class SelectiveEstimator(RuntimePredictor):
+    """Scales specific jobs' estimates; everything else is exact."""
+
+    name = "selective"
+
+    def __init__(self, factors: dict[int, float]):
+        self.factors = factors
+
+    def predict(self, job, elapsed=0.0, now=0.0):
+        return Prediction(
+            estimate=job.run_time * self.factors.get(job.job_id, 1.0),
+            interval=0.0,
+        )
+
+
+class FlippingPredictor(RuntimePredictor):
+    """Estimates change between scheduling passes (history-driven churn)."""
+
+    name = "flip"
+
+    def __init__(self):
+        self.calls = 0
+
+    def predict(self, job, elapsed=0.0, now=0.0):
+        self.calls += 1
+        factor = 0.5 if self.calls % 2 else 2.0
+        return Prediction(estimate=job.run_time * factor, interval=0.0)
+
+
+def run(policy, predictor, jobs, total_nodes=10):
+    sim = Simulator(policy, PointEstimator(predictor), total_nodes)
+    return sim.run(Trace(jobs, total_nodes=total_nodes))
+
+
+def congested_jobs(n=12):
+    return [
+        make_job(
+            job_id=i + 1,
+            submit_time=float(i * 30),
+            run_time=600.0 + 50.0 * (i % 4),
+            nodes=3 + (i % 3) * 3,
+        )
+        for i in range(n)
+    ]
+
+
+class TestWrongEstimates:
+    @pytest.mark.parametrize("predictor_cls", [Underestimator, Overestimator])
+    @pytest.mark.parametrize(
+        "policy_cls", [LWFPolicy, BackfillPolicy, EASYBackfillPolicy]
+    )
+    def test_completion_and_capacity(self, predictor_cls, policy_cls):
+        """Wildly wrong estimates never break the simulation invariants."""
+        res = run(policy_cls(), predictor_cls(), congested_jobs())
+        assert len(res) == 12
+        assert res.max_concurrent_nodes() <= 10
+        for rec in res.records:
+            assert rec.start_time >= rec.submit_time
+
+    def test_underestimates_cause_backfill_overruns(self):
+        """A backfilled job believed short overruns its hole: the blocked
+        head is delayed relative to the exact-knowledge schedule."""
+        from repro.predictors.simple import ActualRuntimePredictor
+
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=6),
+            make_job(job_id=2, submit_time=1.0, run_time=100.0, nodes=8),
+            # Actually runs 400 s, believed 40 s: gets backfilled into the
+            # [2, 100) hole, then overruns the head's planned t=100 start.
+            make_job(job_id=3, submit_time=2.0, run_time=400.0, nodes=4),
+        ]
+        exact = run(BackfillPolicy(), ActualRuntimePredictor(), jobs)
+        under = run(BackfillPolicy(), SelectiveEstimator({3: 0.1}), jobs)
+        assert under[3].start_time == pytest.approx(2.0)  # backfilled on belief
+        assert exact[2].start_time == pytest.approx(100.0)
+        assert under[2].start_time > exact[2].start_time  # head pays for it
+
+    def test_overestimates_block_backfill(self):
+        from repro.predictors.simple import ActualRuntimePredictor
+
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=6),
+            make_job(job_id=2, submit_time=1.0, run_time=100.0, nodes=8),
+            # Fits the hole exactly (ends t=92 < 100), but believed 10x
+            # longer: would hold 4 nodes past the head's reservation.
+            make_job(job_id=3, submit_time=2.0, run_time=90.0, nodes=4),
+        ]
+        exact = run(BackfillPolicy(), ActualRuntimePredictor(), jobs)
+        over = run(BackfillPolicy(), SelectiveEstimator({3: 10.0}), jobs)
+        assert exact[3].start_time == pytest.approx(2.0)
+        assert over[3].start_time > 2.0
+
+    def test_flipping_estimates_still_complete(self):
+        res = run(LWFPolicy(), FlippingPredictor(), congested_jobs())
+        assert len(res) == 12
+        assert res.max_concurrent_nodes() <= 10
+
+    def test_lwf_order_tracks_live_estimates(self):
+        """LWF re-sorts on every pass with current estimates."""
+
+        class PromoteJob3(RuntimePredictor):
+            name = "promote"
+
+            def predict(self, job, elapsed=0.0, now=0.0):
+                # Job 3 looks tiny; all others look huge.
+                est = 1.0 if job.job_id == 3 else 1e6
+                return Prediction(estimate=est, interval=0.0)
+
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=500.0, nodes=10),
+            make_job(job_id=2, submit_time=1.0, run_time=100.0, nodes=10),
+            make_job(job_id=3, submit_time=2.0, run_time=100.0, nodes=10),
+        ]
+        res = run(LWFPolicy(), PromoteJob3(), jobs)
+        assert res[3].start_time < res[2].start_time

@@ -1,0 +1,37 @@
+"""Event-kind ordering tests including the reservation kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler.events import FINISH, RES_END, RES_START, SUBMIT, EventQueue
+
+
+class TestReservationEventOrdering:
+    def test_same_instant_full_ordering(self):
+        q = EventQueue()
+        q.push(10.0, SUBMIT, "submit")
+        q.push(10.0, RES_START, "res-start")
+        q.push(10.0, FINISH, "finish")
+        q.push(10.0, RES_END, "res-end")
+        order = [q.pop()[2] for _ in range(4)]
+        assert order == ["finish", "res-end", "res-start", "submit"]
+
+    def test_releases_precede_claims(self):
+        # The semantic requirement: at one instant, freed capacity
+        # (FINISH, RES_END) is visible before new claims (RES_START).
+        q = EventQueue()
+        q.push(5.0, RES_START, "claim")
+        q.push(5.0, RES_END, "release")
+        assert q.pop()[2] == "release"
+
+    def test_time_dominates_kind(self):
+        q = EventQueue()
+        q.push(1.0, SUBMIT, "early-submit")
+        q.push(2.0, FINISH, "late-finish")
+        assert q.pop()[2] == "early-submit"
+
+    def test_kind_constants_are_distinct_and_ordered(self):
+        kinds = [FINISH, RES_END, RES_START, SUBMIT]
+        assert kinds == sorted(kinds)
+        assert len(set(kinds)) == 4

@@ -1,0 +1,133 @@
+"""Tests for forward simulation (the wait-time prediction engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy, LWFPolicy
+from repro.scheduler.simulator import (
+    QueuedJob,
+    RunningJob,
+    SystemSnapshot,
+    forward_simulate,
+)
+from tests.conftest import make_job
+
+
+def snap(now=0.0, running=(), queued=(), total_nodes=10):
+    return SystemSnapshot(
+        now=now,
+        running=tuple(RunningJob(j, s) for j, s in running),
+        queued=tuple(QueuedJob(j) for j in queued),
+        total_nodes=total_nodes,
+    )
+
+
+class TestForwardSimulate:
+    def test_immediate_start_when_machine_free(self):
+        target = make_job(job_id=1, submit_time=0.0, nodes=4, run_time=100.0)
+        s = snap(queued=[target])
+        start = forward_simulate(s, FCFSPolicy(), {1: 100.0}, 1)
+        assert start == 0.0
+
+    def test_waits_for_predicted_completion(self):
+        running = make_job(job_id=1, submit_time=0.0, nodes=10, run_time=999.0)
+        target = make_job(job_id=2, submit_time=50.0, nodes=10, run_time=10.0)
+        s = snap(now=50.0, running=[(running, 0.0)], queued=[target])
+        # Predicted total 200 s for the running job, started at 0: ends 200.
+        start = forward_simulate(s, FCFSPolicy(), {1: 200.0, 2: 10.0}, 2)
+        assert start == pytest.approx(200.0)
+
+    def test_elapsed_subtracted_from_running_prediction(self):
+        running = make_job(job_id=1, submit_time=0.0, nodes=10, run_time=999.0)
+        target = make_job(job_id=2, submit_time=80.0, nodes=10, run_time=10.0)
+        s = snap(now=80.0, running=[(running, 0.0)], queued=[target])
+        # 200 s total prediction, 80 already elapsed: 120 remain.
+        start = forward_simulate(s, FCFSPolicy(), {1: 200.0, 2: 10.0}, 2)
+        assert start == pytest.approx(200.0)
+
+    def test_prediction_shorter_than_elapsed_clamped(self):
+        running = make_job(job_id=1, submit_time=0.0, nodes=10, run_time=999.0)
+        target = make_job(job_id=2, submit_time=300.0, nodes=10, run_time=10.0)
+        s = snap(now=300.0, running=[(running, 0.0)], queued=[target])
+        # Predicted 100 s but it has already run 300: treated as ending now.
+        start = forward_simulate(s, FCFSPolicy(), {1: 100.0, 2: 10.0}, 2)
+        assert start == pytest.approx(300.0, abs=1e-3)
+
+    def test_fcfs_respects_queue_ahead(self):
+        ahead = make_job(job_id=1, submit_time=0.0, nodes=10, run_time=500.0)
+        target = make_job(job_id=2, submit_time=1.0, nodes=1, run_time=10.0)
+        s = snap(now=1.0, queued=[ahead, target])
+        start = forward_simulate(s, FCFSPolicy(), {1: 500.0, 2: 10.0}, 2)
+        assert start == pytest.approx(501.0)
+
+    def test_lwf_lets_target_jump_ahead(self):
+        ahead = make_job(job_id=1, submit_time=0.0, nodes=10, run_time=500.0)
+        target = make_job(job_id=2, submit_time=1.0, nodes=10, run_time=10.0)
+        s = snap(now=1.0, queued=[ahead, target])
+        start = forward_simulate(s, LWFPolicy(), {1: 500.0, 2: 10.0}, 2)
+        assert start == pytest.approx(1.0)
+
+    def test_backfill_prediction_uses_scheduler_estimates(self):
+        """Durations and scheduler estimates are decoupled.
+
+        The running job truly ends at 100 (duration), but the scheduler
+        believes 500 (estimate) and so reserves the 8-wide head at t=500;
+        the 4-node target (believed 300 s) backfills at once.
+        """
+        running = make_job(job_id=1, submit_time=0.0, nodes=6, run_time=100.0)
+        head = make_job(job_id=2, submit_time=1.0, nodes=8, run_time=100.0)
+        target = make_job(job_id=3, submit_time=2.0, nodes=4, run_time=300.0)
+        s = snap(now=2.0, running=[(running, 0.0)], queued=[head, target])
+        durations = {1: 100.0, 2: 100.0, 3: 300.0}
+        estimates = {1: 500.0, 2: 100.0, 3: 300.0}
+        start = forward_simulate(
+            s, BackfillPolicy(), durations, 3, estimates=estimates
+        )
+        assert start == pytest.approx(2.0)
+        # With self-consistent estimates the backfill would delay the head
+        # (ends 100, target holds 4 nodes to 302), so the target waits.
+        start2 = forward_simulate(s, BackfillPolicy(), durations, 3)
+        assert start2 > 2.0
+
+    def test_missing_target_prediction_raises(self):
+        target = make_job(job_id=1, submit_time=0.0, nodes=4)
+        s = snap(queued=[target])
+        with pytest.raises(KeyError, match="target"):
+            forward_simulate(s, FCFSPolicy(), {}, 1)
+
+    def test_no_future_arrivals_interfere(self):
+        # Only snapshot jobs exist; target starts as soon as they clear.
+        r1 = make_job(job_id=1, submit_time=0.0, nodes=5, run_time=50.0)
+        r2 = make_job(job_id=2, submit_time=0.0, nodes=5, run_time=80.0)
+        target = make_job(job_id=3, submit_time=10.0, nodes=10, run_time=5.0)
+        s = snap(now=10.0, running=[(r1, 0.0), (r2, 0.0)], queued=[target])
+        start = forward_simulate(s, FCFSPolicy(), {1: 50.0, 2: 80.0, 3: 5.0}, 3)
+        assert start == pytest.approx(80.0)
+
+    def test_matches_real_simulation_for_fcfs_with_truth(self):
+        """With exact durations and no later arrivals, the forward sim
+        reproduces the real FCFS start time."""
+        from repro.predictors.base import PointEstimator
+        from repro.predictors.simple import ActualRuntimePredictor
+        from repro.scheduler.simulator import Simulator
+        from repro.workloads.job import Trace
+
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=120.0, nodes=7),
+            make_job(job_id=2, submit_time=5.0, run_time=60.0, nodes=7),
+            make_job(job_id=3, submit_time=6.0, run_time=30.0, nodes=7),
+        ]
+        trace = Trace(jobs, total_nodes=10)
+        sim = Simulator(FCFSPolicy(), PointEstimator(ActualRuntimePredictor()), 10)
+        res = sim.run(trace)
+        # Reconstruct the snapshot at job 3's submission by hand.
+        s = snap(
+            now=6.0,
+            running=[(jobs[0], 0.0)],
+            queued=[jobs[1], jobs[2]],
+        )
+        start = forward_simulate(
+            s, FCFSPolicy(), {1: 120.0, 2: 60.0, 3: 30.0}, 3
+        )
+        assert start == pytest.approx(res[3].start_time)

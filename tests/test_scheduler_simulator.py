@@ -1,0 +1,216 @@
+"""Tests for the event-driven simulator engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import ActualRuntimePredictor, MaxRuntimePredictor
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy, LWFPolicy
+from repro.scheduler.simulator import Simulator
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+
+def actual_estimator() -> PointEstimator:
+    return PointEstimator(ActualRuntimePredictor())
+
+
+def run_fcfs(jobs, total_nodes=10):
+    sim = Simulator(FCFSPolicy(), actual_estimator(), total_nodes)
+    return sim.run(Trace(jobs, total_nodes=total_nodes))
+
+
+class TestBasicRuns:
+    def test_single_job_runs_immediately(self):
+        res = run_fcfs([make_job(job_id=1, submit_time=5.0, run_time=100.0, nodes=4)])
+        assert res[1].start_time == 5.0
+        assert res[1].finish_time == 105.0
+        assert res[1].wait_time == 0.0
+
+    def test_all_jobs_complete(self, small_trace):
+        sim = Simulator(FCFSPolicy(), actual_estimator(), 10)
+        res = sim.run(small_trace)
+        assert len(res) == len(small_trace)
+
+    def test_queueing_when_machine_full(self):
+        res = run_fcfs(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=10),
+                make_job(job_id=2, submit_time=1.0, run_time=50.0, nodes=10),
+            ]
+        )
+        assert res[2].start_time == 100.0
+        assert res[2].wait_time == 99.0
+
+    def test_fcfs_head_of_line_blocking(self):
+        res = run_fcfs(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=6),
+                make_job(job_id=2, submit_time=1.0, run_time=100.0, nodes=6),
+                make_job(job_id=3, submit_time=2.0, run_time=10.0, nodes=1),
+            ]
+        )
+        # Job 3 fits at t=2 but FCFS blocks it behind job 2.
+        assert res[2].start_time == 100.0
+        assert res[3].start_time == 100.0
+
+    def test_backfill_fills_the_hole(self):
+        sim = Simulator(BackfillPolicy(), actual_estimator(), 10)
+        res = sim.run(
+            Trace(
+                [
+                    make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=6),
+                    make_job(job_id=2, submit_time=1.0, run_time=100.0, nodes=6),
+                    make_job(job_id=3, submit_time=2.0, run_time=10.0, nodes=1),
+                ],
+                total_nodes=10,
+            )
+        )
+        assert res[3].start_time == 2.0  # backfilled immediately
+        assert res[2].start_time == 100.0  # not delayed by the backfill
+
+    def test_lwf_runs_small_work_first(self):
+        sim = Simulator(LWFPolicy(), actual_estimator(), 10)
+        res = sim.run(
+            Trace(
+                [
+                    make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=10),
+                    make_job(job_id=2, submit_time=1.0, run_time=1000.0, nodes=5),
+                    make_job(job_id=3, submit_time=2.0, run_time=10.0, nodes=5),
+                ],
+                total_nodes=10,
+            )
+        )
+        # At t=100 both 2 and 3 wait; LWF starts the lesser work (job 3) first
+        # and both fit side by side anyway; job 3 must not wait for job 2.
+        assert res[3].start_time == 100.0
+        assert res[2].start_time == 100.0
+
+    def test_finish_frees_nodes_for_same_time_submit(self):
+        # Finish at t=100 processed before submit at t=100.
+        res = run_fcfs(
+            [
+                make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=10),
+                make_job(job_id=2, submit_time=100.0, run_time=10.0, nodes=10),
+            ]
+        )
+        assert res[2].start_time == 100.0
+
+
+class TestInvariants:
+    def test_capacity_never_exceeded(self, anl_trace):
+        sim = Simulator(BackfillPolicy(), actual_estimator(), anl_trace.total_nodes)
+        res = sim.run(anl_trace)
+        assert res.max_concurrent_nodes() <= anl_trace.total_nodes
+
+    def test_every_job_starts_after_submit(self, anl_trace):
+        sim = Simulator(LWFPolicy(), actual_estimator(), anl_trace.total_nodes)
+        res = sim.run(anl_trace)
+        for rec in res.records:
+            assert rec.start_time >= rec.submit_time
+
+    def test_run_time_preserved(self, small_trace):
+        sim = Simulator(FCFSPolicy(), actual_estimator(), 10)
+        res = sim.run(small_trace)
+        for job in small_trace:
+            assert res[job.job_id].run_time == pytest.approx(job.run_time)
+
+    def test_fcfs_starts_in_arrival_order(self, anl_trace):
+        sim = Simulator(FCFSPolicy(), actual_estimator(), anl_trace.total_nodes)
+        res = sim.run(anl_trace)
+        by_submit = sorted(res.records, key=lambda r: (r.submit_time, r.job_id))
+        starts = [r.start_time for r in by_submit]
+        assert starts == sorted(starts)
+
+    def test_trace_node_mismatch_raises(self, small_trace):
+        sim = Simulator(FCFSPolicy(), actual_estimator(), 99)
+        with pytest.raises(ValueError, match="declares"):
+            sim.run(small_trace)
+
+    def test_deterministic_replay(self, anl_trace):
+        r1 = Simulator(BackfillPolicy(), actual_estimator(), anl_trace.total_nodes).run(
+            anl_trace
+        )
+        r2 = Simulator(BackfillPolicy(), actual_estimator(), anl_trace.total_nodes).run(
+            anl_trace
+        )
+        assert [(r.job_id, r.start_time) for r in r1.records] == [
+            (r.job_id, r.start_time) for r in r2.records
+        ]
+
+
+class TestEstimatorEffects:
+    def test_max_estimates_change_backfill_schedule(self):
+        """Loose maxima block a backfill that exact knowledge allows."""
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=4,
+                     max_run_time=100.0),
+            make_job(job_id=2, submit_time=1.0, run_time=100.0, nodes=8,
+                     max_run_time=100.0),
+            # Fits in the 6-node hole for 90 s with exact knowledge, but its
+            # declared max (500 s) would overlap job 2's 8-node reservation
+            # at t=100 (only 10-5=5 nodes would be free).
+            make_job(job_id=3, submit_time=2.0, run_time=90.0, nodes=5,
+                     max_run_time=500.0),
+        ]
+        trace = Trace(jobs, total_nodes=10)
+        res_actual = Simulator(BackfillPolicy(), actual_estimator(), 10).run(trace)
+        res_max = Simulator(
+            BackfillPolicy(), PointEstimator(MaxRuntimePredictor()), 10
+        ).run(trace)
+        assert res_actual[3].start_time == 2.0
+        assert res_max[3].start_time > 2.0
+
+    def test_estimator_on_finish_called(self, small_trace):
+        calls: list[int] = []
+
+        class Spy:
+            def predict(self, job, elapsed, now):
+                return job.run_time
+
+            def on_finish(self, job, now):
+                calls.append(job.job_id)
+
+        sim = Simulator(FCFSPolicy(), Spy(), 10)
+        sim.run(small_trace)
+        assert sorted(calls) == [1, 2, 3, 4, 5]
+
+
+class TestObservers:
+    def test_observer_hooks_fire(self, small_trace):
+        events: list[tuple[str, int]] = []
+
+        class Obs:
+            def on_submit(self, view, qj):
+                events.append(("submit", qj.job_id))
+
+            def on_start(self, view, job):
+                events.append(("start", job.job_id))
+
+            def on_finish(self, view, job):
+                events.append(("finish", job.job_id))
+
+        sim = Simulator(FCFSPolicy(), actual_estimator(), 10)
+        sim.add_observer(Obs())
+        sim.run(small_trace)
+        kinds = [k for k, _ in events]
+        assert kinds.count("submit") == 5
+        assert kinds.count("start") == 5
+        assert kinds.count("finish") == 5
+        # A job's submit precedes its start precedes its finish.
+        for jid in range(1, 6):
+            assert events.index(("submit", jid)) < events.index(("start", jid))
+            assert events.index(("start", jid)) < events.index(("finish", jid))
+
+    def test_observer_sees_new_job_in_queue(self, small_trace):
+        seen: dict[int, bool] = {}
+
+        class Obs:
+            def on_submit(self, view, qj):
+                seen[qj.job_id] = any(q.job_id == qj.job_id for q in view.queued)
+
+        sim = Simulator(FCFSPolicy(), actual_estimator(), 10)
+        sim.add_observer(Obs())
+        sim.run(small_trace)
+        assert all(seen.values())

@@ -1,0 +1,108 @@
+"""Tests for the schedule validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import ActualRuntimePredictor
+from repro.scheduler.metrics import JobRecord, ScheduleResult
+from repro.scheduler.policies import BackfillPolicy, LWFPolicy
+from repro.scheduler.simulator import Simulator
+from repro.scheduler.validate import validate_schedule
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+
+def simulate(trace, policy=None):
+    sim = Simulator(
+        policy or BackfillPolicy(),
+        PointEstimator(ActualRuntimePredictor()),
+        trace.total_nodes,
+    )
+    return sim.run(trace)
+
+
+class TestValidateSchedule:
+    def test_real_simulations_validate(self, anl_trace):
+        for policy in (BackfillPolicy(), LWFPolicy()):
+            result = simulate(anl_trace, policy)
+            report = validate_schedule(anl_trace, result)
+            assert report.ok, report.violations
+
+    def test_missing_job_detected(self, small_trace):
+        result = simulate(small_trace)
+        partial = ScheduleResult(
+            [r for r in result.records if r.job_id != 3],
+            total_nodes=small_trace.total_nodes,
+        )
+        report = validate_schedule(small_trace, partial)
+        assert not report.ok
+        assert any("never scheduled" in v for v in report.violations)
+
+    def test_extra_job_detected(self, small_trace):
+        result = simulate(small_trace)
+        extra = ScheduleResult(
+            list(result.records)
+            + [JobRecord(job_id=99, submit_time=0, start_time=0,
+                         finish_time=1, nodes=1)],
+            total_nodes=small_trace.total_nodes,
+        )
+        report = validate_schedule(small_trace, extra)
+        assert any("not in trace" in v for v in report.violations)
+
+    def test_wrong_run_time_detected(self, small_trace):
+        records = [
+            JobRecord(
+                job_id=j.job_id,
+                submit_time=j.submit_time,
+                start_time=j.submit_time,
+                finish_time=j.submit_time + j.run_time + 500.0,  # wrong
+                nodes=j.nodes,
+            )
+            for j in small_trace
+        ]
+        report = validate_schedule(
+            small_trace, ScheduleResult(records, total_nodes=10)
+        )
+        assert any("ran" in v for v in report.violations)
+
+    def test_capacity_violation_detected(self):
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=6),
+            make_job(job_id=2, submit_time=0.0, run_time=100.0, nodes=6),
+        ]
+        trace = Trace(jobs, total_nodes=10)
+        # A (bogus) schedule running both simultaneously: 12 > 10 nodes.
+        records = [
+            JobRecord(job_id=1, submit_time=0, start_time=0, finish_time=100,
+                      nodes=6),
+            JobRecord(job_id=2, submit_time=0, start_time=0, finish_time=100,
+                      nodes=6),
+        ]
+        report = validate_schedule(trace, ScheduleResult(records, total_nodes=10))
+        assert any("capacity exceeded" in v for v in report.violations)
+
+    def test_wrong_nodes_detected(self, small_trace):
+        result = simulate(small_trace)
+        mangled = [
+            JobRecord(
+                job_id=r.job_id,
+                submit_time=r.submit_time,
+                start_time=r.start_time,
+                finish_time=r.finish_time,
+                nodes=r.nodes + 1 if r.job_id == 1 else r.nodes,
+            )
+            for r in result.records
+        ]
+        report = validate_schedule(
+            small_trace, ScheduleResult(mangled, total_nodes=10)
+        )
+        assert any("nodes" in v for v in report.violations)
+
+    def test_raise_if_invalid(self, small_trace):
+        result = simulate(small_trace)
+        validate_schedule(small_trace, result).raise_if_invalid()  # no-op
+        bad = ScheduleResult([], total_nodes=10)
+        with pytest.raises(AssertionError, match="invalid schedule"):
+            validate_schedule(small_trace, bad).raise_if_invalid()

@@ -1,0 +1,101 @@
+"""Tests for Simulator.snapshot() and SchedulerView details."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import ActualRuntimePredictor
+from repro.scheduler.policies import FCFSPolicy
+from repro.scheduler.simulator import SchedulerView, Simulator
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+
+def mid_flight_sim():
+    jobs = [
+        make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=8),
+        make_job(job_id=2, submit_time=5.0, run_time=50.0, nodes=8),
+        make_job(job_id=3, submit_time=6.0, run_time=20.0, nodes=8),
+    ]
+    sim = Simulator(FCFSPolicy(), PointEstimator(ActualRuntimePredictor()), 10)
+    sim.load_trace(Trace(jobs, total_nodes=10))
+    sim.run(until_time=10.0)
+    return sim
+
+
+class TestSnapshot:
+    def test_captures_running_and_queued(self):
+        sim = mid_flight_sim()
+        snap = sim.snapshot()
+        assert snap.now == 10.0
+        assert [r.job_id for r in snap.running] == [1]
+        assert [q.job_id for q in snap.queued] == [2, 3]
+        assert snap.total_nodes == 10
+
+    def test_snapshot_is_a_copy(self):
+        sim = mid_flight_sim()
+        snap = sim.snapshot()
+        sim.run()  # finish everything
+        # The snapshot still shows the mid-flight state.
+        assert len(snap.running) == 1
+        assert len(snap.queued) == 2
+
+    def test_running_elapsed(self):
+        sim = mid_flight_sim()
+        [rj] = sim.snapshot().running
+        assert rj.elapsed(10.0) == pytest.approx(10.0)
+
+
+class TestSchedulerView:
+    def test_estimates_memoized_within_pass(self):
+        calls = []
+
+        class Counting:
+            def predict(self, job, elapsed, now):
+                calls.append(job.job_id)
+                return job.run_time
+
+        sim = Simulator(FCFSPolicy(), Counting(), 10)
+        sim.queued.append(
+            __import__("repro.scheduler.simulator", fromlist=["QueuedJob"]).QueuedJob(
+                make_job(job_id=7)
+            )
+        )
+        view = SchedulerView(sim)
+        qj = sim.queued[0]
+        view.estimate(qj)
+        view.estimate(qj)
+        assert calls == [7]
+        view.invalidate()
+        view.estimate(qj)
+        assert calls == [7, 7]
+
+    def test_estimate_floor(self):
+        class Zero:
+            def predict(self, job, elapsed, now):
+                return -5.0
+
+        sim = Simulator(FCFSPolicy(), Zero(), 10)
+        from repro.scheduler.simulator import QueuedJob
+
+        sim.queued.append(QueuedJob(make_job(job_id=1)))
+        view = SchedulerView(sim)
+        assert view.estimate(sim.queued[0]) > 0.0
+
+    def test_remaining_clamps_overrun(self):
+        """A job past its estimate still has positive remaining time."""
+
+        class Short:
+            def predict(self, job, elapsed, now):
+                return 10.0  # but the job has been running 500 s
+
+        sim = Simulator(FCFSPolicy(), Short(), 10)
+        from repro.scheduler.simulator import RunningJob
+
+        sim.now = 500.0
+        rj = RunningJob(make_job(job_id=1), start_time=0.0)
+        sim.running.append(rj)
+        view = SchedulerView(sim)
+        assert view.remaining(rj) > 0.0
+        assert view.remaining(rj) < 1.0

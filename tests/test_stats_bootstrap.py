@@ -1,0 +1,81 @@
+"""Tests for bootstrap resampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import bootstrap_mean, bootstrap_mean_difference
+
+
+class TestBootstrapMean:
+    def test_estimate_is_sample_mean(self):
+        iv = bootstrap_mean([1.0, 2.0, 3.0, 4.0])
+        assert iv.estimate == pytest.approx(2.5)
+
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(0)
+        iv = bootstrap_mean(rng.exponential(10.0, size=200))
+        assert iv.lo <= iv.estimate <= iv.hi
+
+    def test_interval_covers_true_mean_usually(self):
+        rng = np.random.default_rng(1)
+        hits = 0
+        for s in range(30):
+            sample = rng.normal(5.0, 2.0, size=80)
+            iv = bootstrap_mean(sample, confidence=0.95, seed=s)
+            if iv.lo <= 5.0 <= iv.hi:
+                hits += 1
+        assert hits >= 25  # ~95% nominal coverage
+
+    def test_interval_shrinks_with_n(self):
+        rng = np.random.default_rng(2)
+        small = bootstrap_mean(rng.normal(0, 1, 20), seed=0)
+        big = bootstrap_mean(rng.normal(0, 1, 2000), seed=0)
+        assert (big.hi - big.lo) < (small.hi - small.lo)
+
+    def test_deterministic_by_seed(self):
+        data = [1.0, 5.0, 2.0, 9.0]
+        assert bootstrap_mean(data, seed=3) == bootstrap_mean(data, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], resamples=5)
+
+
+class TestBootstrapMeanDifference:
+    def test_clear_difference_excludes_zero(self):
+        rng = np.random.default_rng(0)
+        base = rng.exponential(10.0, size=300)
+        a = base + 5.0
+        iv = bootstrap_mean_difference(a, base, seed=0)
+        assert iv.estimate == pytest.approx(5.0)
+        assert iv.excludes_zero()
+        assert iv.lo > 0
+
+    def test_no_difference_includes_zero(self):
+        rng = np.random.default_rng(1)
+        base = rng.exponential(10.0, size=300)
+        noise = base + rng.normal(0, 0.5, size=300)
+        iv = bootstrap_mean_difference(noise, base, seed=0)
+        assert not iv.excludes_zero() or abs(iv.estimate) < 0.2
+
+    def test_pairing_beats_unpaired_width(self):
+        """Paired resampling removes the shared between-job variance."""
+        rng = np.random.default_rng(2)
+        base = rng.exponential(100.0, size=400)  # huge between-job spread
+        a = base * 1.02  # tiny consistent 2% effect
+        paired = bootstrap_mean_difference(a, base, seed=0)
+        assert paired.excludes_zero()  # pairing resolves the 2% effect
+
+    def test_misaligned_samples_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            bootstrap_mean_difference([1.0, 2.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_difference([], [])

@@ -1,0 +1,171 @@
+"""Tests for repro.stats.ci: t quantiles, intervals, running moments."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.ci import RunningMoments, mean_confidence_interval, t_quantile
+
+
+class TestTQuantile:
+    def test_median_is_zero(self):
+        assert t_quantile(5, 0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        assert t_quantile(7, 0.9) == pytest.approx(-t_quantile(7, 0.1))
+
+    def test_known_value(self):
+        # t_{0.975} with 10 degrees of freedom is 2.228 (standard tables).
+        assert t_quantile(10, 0.975) == pytest.approx(2.228, abs=5e-3)
+
+    def test_heavier_tail_than_normal(self):
+        assert t_quantile(3, 0.95) > t_quantile(300, 0.95)
+
+    def test_converges_to_normal(self):
+        assert t_quantile(10_000, 0.975) == pytest.approx(1.96, abs=0.01)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            t_quantile(0, 0.9)
+
+    def test_cached(self):
+        assert t_quantile(9, 0.95) == t_quantile(9, 0.95)
+
+
+class TestMeanConfidenceInterval:
+    def test_mean_recovered(self):
+        m, _ = mean_confidence_interval([2.0, 4.0, 6.0])
+        assert m == pytest.approx(4.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+
+    def test_zero_variance_zero_width(self):
+        _, hw = mean_confidence_interval([5.0, 5.0, 5.0])
+        assert hw == pytest.approx(0.0)
+
+    def test_width_grows_with_spread(self):
+        _, tight = mean_confidence_interval([10.0, 10.1, 9.9])
+        _, wide = mean_confidence_interval([1.0, 19.0, 10.0])
+        assert wide > tight
+
+    def test_prediction_wider_than_mean_ci(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        _, pred = mean_confidence_interval(data, prediction=True)
+        _, mean = mean_confidence_interval(data, prediction=False)
+        assert pred > mean
+
+    def test_higher_confidence_wider(self):
+        data = [1.0, 3.0, 7.0, 2.0]
+        _, w90 = mean_confidence_interval(data, 0.90)
+        _, w99 = mean_confidence_interval(data, 0.99)
+        assert w99 > w90
+
+    def test_prediction_width_shrinks_slowly_with_n(self):
+        # Prediction interval converges to t*s, not 0, as n grows.
+        rng = np.random.default_rng(0)
+        small = rng.normal(0, 1, 10)
+        big = rng.normal(0, 1, 10_000)
+        _, hw_big = mean_confidence_interval(big)
+        assert hw_big == pytest.approx(1.645, abs=0.1)  # ~z_{0.95} * sigma
+        _, hw_small = mean_confidence_interval(small)
+        assert hw_small > 0
+
+
+class TestRunningMoments:
+    def test_matches_numpy(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        rm = RunningMoments()
+        for x in data:
+            rm.add(x)
+        assert rm.count == 6
+        assert rm.mean == pytest.approx(np.mean(data))
+        assert rm.variance == pytest.approx(np.var(data, ddof=1))
+
+    def test_remove_inverts_add(self):
+        rm = RunningMoments()
+        for x in [2.0, 7.0, 11.0]:
+            rm.add(x)
+        rm.add(100.0)
+        rm.remove(100.0)
+        assert rm.count == 3
+        assert rm.mean == pytest.approx(np.mean([2.0, 7.0, 11.0]))
+        assert rm.variance == pytest.approx(np.var([2.0, 7.0, 11.0], ddof=1))
+
+    def test_remove_to_empty(self):
+        rm = RunningMoments()
+        rm.add(5.0)
+        rm.remove(5.0)
+        assert rm.count == 0
+        assert rm.mean == 0.0
+
+    def test_remove_from_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningMoments().remove(1.0)
+
+    def test_variance_zero_below_two(self):
+        rm = RunningMoments()
+        rm.add(3.0)
+        assert rm.variance == 0.0
+
+    def test_interval_requires_two(self):
+        rm = RunningMoments()
+        rm.add(1.0)
+        with pytest.raises(ValueError):
+            rm.interval()
+
+    def test_interval_matches_batch(self):
+        data = [1.0, 5.0, 2.0, 8.0]
+        rm = RunningMoments()
+        for x in data:
+            rm.add(x)
+        m1, hw1 = rm.interval(0.9)
+        m2, hw2 = mean_confidence_interval(data, 0.9)
+        assert m1 == pytest.approx(m2)
+        assert hw1 == pytest.approx(hw2)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100)
+    def test_property_sliding_window_matches_batch(self, values):
+        """Adding all then removing the first half equals the second half."""
+        half = len(values) // 2
+        rm = RunningMoments()
+        for x in values:
+            rm.add(x)
+        for x in values[:half]:
+            rm.remove(x)
+        rest = values[half:]
+        assert rm.count == len(rest)
+        assert rm.mean == pytest.approx(np.mean(rest), rel=1e-6, abs=1e-3)
+        if len(rest) >= 2:
+            assert rm.variance >= 0.0
+            assert rm.variance == pytest.approx(
+                np.var(rest, ddof=1), rel=1e-4, abs=1.0
+            )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_variance_never_negative(self, values):
+        rm = RunningMoments()
+        for x in values:
+            rm.add(x)
+        assert rm.variance >= 0.0
+        assert rm.std == pytest.approx(math.sqrt(rm.variance))

@@ -1,0 +1,76 @@
+"""Tests for repro.utils: RNG plumbing and time helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import rng_from_seed, spawn_rng
+from repro.utils.timeutils import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    format_duration,
+    minutes,
+    seconds_to_minutes,
+)
+
+
+class TestRng:
+    def test_seed_determinism(self):
+        a = rng_from_seed(42).uniform(size=5)
+        b = rng_from_seed(42).uniform(size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rng_from_seed(1).uniform(size=5)
+        b = rng_from_seed(2).uniform(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert rng_from_seed(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+    def test_spawn_count(self):
+        children = spawn_rng(rng_from_seed(0), count=3)
+        assert len(children) == 3
+
+    def test_spawn_streams_independent(self):
+        c1, c2 = spawn_rng(rng_from_seed(0), count=2)
+        assert not np.array_equal(c1.uniform(size=8), c2.uniform(size=8))
+
+    def test_spawn_deterministic(self):
+        a = spawn_rng(rng_from_seed(5), count=2)[1].uniform(size=4)
+        b = spawn_rng(rng_from_seed(5), count=2)[1].uniform(size=4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_rejects_zero(self):
+        with pytest.raises(ValueError):
+            spawn_rng(rng_from_seed(0), count=0)
+
+
+class TestTimeUtils:
+    def test_constants(self):
+        assert MINUTE == 60.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+    def test_minutes_roundtrip(self):
+        assert seconds_to_minutes(minutes(97.75)) == pytest.approx(97.75)
+
+    def test_format_zero(self):
+        assert format_duration(0.0) == "00:00:00"
+
+    def test_format_hms(self):
+        assert format_duration(2 * HOUR + 3 * MINUTE + 4) == "02:03:04"
+
+    def test_format_days(self):
+        assert format_duration(DAY + HOUR) == "1d 01:00:00"
+
+    def test_format_negative(self):
+        assert format_duration(-90.0) == "-00:01:30"

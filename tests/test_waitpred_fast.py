@@ -1,0 +1,165 @@
+"""Equivalence tests: analytic wait-prediction shortcuts vs. simulation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import ActualRuntimePredictor
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy, LWFPolicy
+from repro.scheduler.simulator import (
+    QueuedJob,
+    RunningJob,
+    Simulator,
+    SystemSnapshot,
+    forward_simulate,
+)
+from repro.waitpred.fast import (
+    backfill_predicted_start,
+    fcfs_predicted_start,
+    predict_start_fast,
+)
+from repro.waitpred.predictor import WaitTimePredictor
+from repro.workloads.job import Job
+from tests.conftest import make_job
+
+TOTAL = 12
+
+
+@st.composite
+def snapshots(draw):
+    """A random consistent snapshot plus per-job durations."""
+    now = draw(st.floats(0.0, 100.0))
+    durations: dict[int, float] = {}
+    running: list[RunningJob] = []
+    free = TOTAL
+    jid = 1
+    for _ in range(draw(st.integers(0, 3))):
+        nodes = draw(st.integers(1, 6))
+        if nodes > free:
+            continue
+        free -= nodes
+        start = draw(st.floats(0.0, 50.0).map(lambda v: min(v, now)))
+        job = Job(job_id=jid, submit_time=0.0, run_time=1.0, nodes=nodes)
+        running.append(RunningJob(job, start))
+        durations[jid] = draw(st.floats(1.0, 300.0))
+        jid += 1
+    queued: list[QueuedJob] = []
+    for _ in range(draw(st.integers(1, 6))):
+        nodes = draw(st.integers(1, TOTAL))
+        job = Job(job_id=jid, submit_time=min(now, float(jid)), run_time=1.0,
+                  nodes=nodes)
+        queued.append(QueuedJob(job))
+        durations[jid] = draw(st.floats(0.0, 300.0))
+        jid += 1
+    snap = SystemSnapshot(
+        now=now, running=tuple(running), queued=tuple(queued), total_nodes=TOTAL
+    )
+    target = draw(st.sampled_from([qj.job_id for qj in queued]))
+    return snap, durations, target
+
+
+@given(case=snapshots())
+@settings(max_examples=120, deadline=None)
+def test_property_fcfs_shortcut_matches_simulation(case):
+    snap, durations, target = case
+    fast = fcfs_predicted_start(snap, durations, target)
+    ref = forward_simulate(snap, FCFSPolicy(), durations, target)
+    assert fast == pytest.approx(ref, rel=1e-9, abs=1e-4)
+
+
+@given(case=snapshots())
+@settings(max_examples=120, deadline=None)
+def test_property_backfill_shortcut_matches_simulation(case):
+    snap, durations, target = case
+    fast = backfill_predicted_start(snap, durations, target)
+    ref = forward_simulate(snap, BackfillPolicy(), durations, target)
+    assert fast == pytest.approx(ref, rel=1e-9, abs=1e-4)
+
+
+@given(case=snapshots())
+@settings(max_examples=60, deadline=None)
+def test_property_dispatcher_matches_reference_for_lwf(case):
+    """LWF has no shortcut; the dispatcher must hit the reference path."""
+    snap, durations, target = case
+    fast = predict_start_fast(snap, LWFPolicy(), durations, target)
+    ref = forward_simulate(snap, LWFPolicy(), durations, target)
+    assert fast == pytest.approx(ref, rel=1e-9, abs=1e-4)
+
+
+@given(case=snapshots())
+@settings(max_examples=60, deadline=None)
+def test_property_dispatcher_backfill_with_distinct_estimates(case):
+    """With estimates != durations the dispatcher must not shortcut."""
+    snap, durations, target = case
+    estimates = {jid: d * 3.0 + 10.0 for jid, d in durations.items()}
+    fast = predict_start_fast(
+        snap, BackfillPolicy(), durations, target, estimates=estimates
+    )
+    ref = forward_simulate(
+        snap, BackfillPolicy(), durations, target, estimates=estimates
+    )
+    assert fast == pytest.approx(ref, rel=1e-9, abs=1e-4)
+
+
+class TestShortcutEdgeCases:
+    def test_missing_target_raises(self):
+        snap = SystemSnapshot(now=0.0, running=(), queued=(), total_nodes=4)
+        with pytest.raises(KeyError):
+            fcfs_predicted_start(snap, {}, 1)
+
+    def test_fcfs_monotone_starts(self):
+        # Narrow job behind a wide blocked one must NOT start early.
+        wide = make_job(job_id=1, submit_time=0.0, nodes=10, run_time=1.0)
+        narrow = make_job(job_id=2, submit_time=1.0, nodes=1, run_time=1.0)
+        running = make_job(job_id=3, submit_time=0.0, nodes=6, run_time=1.0)
+        snap = SystemSnapshot(
+            now=1.0,
+            running=(RunningJob(running, 0.0),),
+            queued=(QueuedJob(wide), QueuedJob(narrow)),
+            total_nodes=12,
+        )
+        durations = {1: 100.0, 2: 5.0, 3: 50.0}
+        # Wide starts when the running job's 50 s elapse (t=49 remaining -> 50).
+        assert fcfs_predicted_start(snap, durations, 1) == pytest.approx(50.0)
+        assert fcfs_predicted_start(snap, durations, 2) == pytest.approx(50.0)
+
+    def test_backfill_lets_narrow_jump(self):
+        wide = make_job(job_id=1, submit_time=0.0, nodes=10, run_time=1.0)
+        narrow = make_job(job_id=2, submit_time=1.0, nodes=1, run_time=1.0)
+        running = make_job(job_id=3, submit_time=0.0, nodes=6, run_time=1.0)
+        snap = SystemSnapshot(
+            now=1.0,
+            running=(RunningJob(running, 0.0),),
+            queued=(QueuedJob(wide), QueuedJob(narrow)),
+            total_nodes=12,
+        )
+        durations = {1: 100.0, 2: 5.0, 3: 50.0}
+        assert backfill_predicted_start(snap, durations, 2) == pytest.approx(1.0)
+
+    def test_observer_fast_and_slow_agree_end_to_end(self, anl_trace):
+        """Full replay: fast observer equals the reference observer."""
+        from repro.workloads.transform import head
+
+        trace = head(anl_trace, 150)
+        waits = {}
+        for fast in (True, False):
+            policy = FCFSPolicy()
+            estimator = PointEstimator(ActualRuntimePredictor())
+            sim = Simulator(policy, estimator, trace.total_nodes)
+            obs = WaitTimePredictor(
+                policy,
+                ActualRuntimePredictor(),
+                scheduler_estimator=estimator,
+                fast=fast,
+            )
+            sim.add_observer(obs)
+            sim.run(trace)
+            waits[fast] = obs.predicted_waits
+        assert waits[True].keys() == waits[False].keys()
+        for jid in waits[True]:
+            assert waits[True][jid] == pytest.approx(
+                waits[False][jid], rel=1e-9, abs=1e-3
+            )

@@ -1,0 +1,107 @@
+"""Tests for Monte-Carlo wait-prediction intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predictors.base import PointEstimator, warm_start
+from repro.predictors.simple import ActualRuntimePredictor
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.templates import Template
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy
+from repro.scheduler.simulator import QueuedJob, RunningJob, SystemSnapshot
+from repro.waitpred.uncertainty import predict_wait_interval
+from tests.conftest import make_job
+
+
+def snapshot_with_queue():
+    running = make_job(job_id=1, submit_time=0.0, nodes=10, run_time=999.0,
+                       user="bob", executable="long")
+    target = make_job(job_id=2, submit_time=100.0, nodes=10, run_time=10.0,
+                      user="bob", executable="long")
+    return SystemSnapshot(
+        now=100.0,
+        running=(RunningJob(running, 0.0),),
+        queued=(QueuedJob(target),),
+        total_nodes=10,
+    )
+
+
+class TestPredictWaitInterval:
+    def test_oracle_degenerate_interval(self):
+        """Zero run-time uncertainty => zero-width wait interval."""
+        snap = snapshot_with_queue()
+        est = PointEstimator(ActualRuntimePredictor())
+        iv = predict_wait_interval(snap, FCFSPolicy(), est, 2, samples=10)
+        assert iv.width == pytest.approx(0.0)
+        assert iv.median == pytest.approx(999.0 - 100.0)
+
+    def test_uncertain_history_widens_interval(self):
+        snap = snapshot_with_queue()
+        # Train a Smith predictor with scattered run times for the
+        # running job's identity -> wide prediction interval.
+        smith = SmithPredictor([Template(characteristics=("u", "e"))])
+        warm_start(
+            smith,
+            [
+                make_job(job_id=100 + i, user="bob", executable="long",
+                         run_time=rt)
+                for i, rt in enumerate((200.0, 800.0, 1400.0, 2600.0))
+            ],
+        )
+        est = PointEstimator(smith)
+        iv = predict_wait_interval(snap, FCFSPolicy(), est, 2, samples=60, seed=3)
+        assert iv.width > 0.0
+        assert iv.lo <= iv.median <= iv.hi
+        # The point prediction (mean 1250 total, 100 elapsed) sits inside.
+        assert iv.lo <= 1250.0 - 100.0 <= iv.hi + 1e-6
+
+    def test_deterministic_given_seed(self):
+        snap = snapshot_with_queue()
+        smith = SmithPredictor([Template(characteristics=("u", "e"))])
+        warm_start(
+            smith,
+            [
+                make_job(job_id=100 + i, user="bob", executable="long",
+                         run_time=rt)
+                for i, rt in enumerate((500.0, 900.0, 1500.0))
+            ],
+        )
+        est = PointEstimator(smith)
+        a = predict_wait_interval(snap, FCFSPolicy(), est, 2, samples=20, seed=7)
+        b = predict_wait_interval(snap, FCFSPolicy(), est, 2, samples=20, seed=7)
+        assert a == b
+
+    def test_confidence_controls_width(self):
+        snap = snapshot_with_queue()
+        smith = SmithPredictor([Template(characteristics=("u", "e"))])
+        warm_start(
+            smith,
+            [
+                make_job(job_id=100 + i, user="bob", executable="long",
+                         run_time=rt)
+                for i, rt in enumerate((300.0, 900.0, 2100.0, 3000.0))
+            ],
+        )
+        est = PointEstimator(smith)
+        narrow = predict_wait_interval(
+            snap, FCFSPolicy(), est, 2, samples=80, confidence=0.5, seed=1
+        )
+        wide = predict_wait_interval(
+            snap, FCFSPolicy(), est, 2, samples=80, confidence=0.95, seed=1
+        )
+        assert wide.width >= narrow.width
+
+    def test_backfill_policy_supported(self):
+        snap = snapshot_with_queue()
+        est = PointEstimator(ActualRuntimePredictor())
+        iv = predict_wait_interval(snap, BackfillPolicy(), est, 2, samples=5)
+        assert iv.median >= 0.0
+
+    def test_validation(self):
+        snap = snapshot_with_queue()
+        est = PointEstimator(ActualRuntimePredictor())
+        with pytest.raises(ValueError):
+            predict_wait_interval(snap, FCFSPolicy(), est, 2, samples=1)
+        with pytest.raises(ValueError):
+            predict_wait_interval(snap, FCFSPolicy(), est, 2, confidence=1.0)

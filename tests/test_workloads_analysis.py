@@ -1,0 +1,208 @@
+"""Tests for repro.workloads.analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads.analysis import (
+    interarrival_stats,
+    loguniform_fit_quality,
+    node_histogram,
+    overestimation_stats,
+    repetition_stats,
+    within_group_dispersion,
+)
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+
+def trace_of(jobs):
+    return Trace(jobs, total_nodes=64)
+
+
+class TestRepetition:
+    def test_all_unique(self):
+        t = trace_of(
+            [make_job(job_id=i, user=f"u{i}", executable=f"e{i}") for i in range(5)]
+        )
+        stats = repetition_stats(t)
+        assert stats.repeat_fraction == 0.0
+        assert stats.n_identities == 5
+        assert stats.mean_runs_per_identity == 1.0
+
+    def test_all_same(self):
+        t = trace_of(
+            [make_job(job_id=i, submit_time=float(i)) for i in range(10)]
+        )
+        stats = repetition_stats(t)
+        assert stats.repeat_fraction == pytest.approx(0.9)
+        assert stats.n_identities == 1
+
+    def test_recent_window(self):
+        jobs = [make_job(job_id=1, submit_time=0.0, user="a", executable="x")]
+        jobs += [
+            make_job(job_id=i, submit_time=float(i), user=f"u{i}", executable="y")
+            for i in range(2, 10)
+        ]
+        jobs.append(make_job(job_id=99, submit_time=99.0, user="a", executable="x"))
+        stats = repetition_stats(trace_of(jobs), window=3)
+        # The final job repeats an identity seen long ago but not recently.
+        assert stats.repeat_fraction > stats.recent_repeat_fraction
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            repetition_stats(trace_of([make_job()]), window=0)
+
+    def test_identity_falls_back_to_queue(self):
+        jobs = [
+            make_job(job_id=i, submit_time=float(i), user="u",
+                     executable=None, queue="q16m")
+            for i in range(1, 4)
+        ]
+        stats = repetition_stats(trace_of(jobs))
+        assert stats.n_identities == 1
+
+    def test_synthetic_traces_have_repetition(self, anl_trace):
+        stats = repetition_stats(anl_trace)
+        assert stats.repeat_fraction > 0.5  # structure the predictors need
+
+    def test_empty(self):
+        stats = repetition_stats(trace_of([]))
+        assert stats.n_jobs == 0
+        assert stats.mean_runs_per_identity == 0.0
+
+
+class TestInterarrival:
+    def test_regular_arrivals_low_cv(self):
+        t = trace_of([make_job(job_id=i, submit_time=10.0 * i) for i in range(20)])
+        stats = interarrival_stats(t)
+        assert stats.mean == pytest.approx(10.0)
+        assert stats.cv == pytest.approx(0.0)
+        assert stats.max_gap == pytest.approx(10.0)
+
+    def test_bursty_arrivals_high_cv(self):
+        times = [0, 1, 2, 3, 1000, 1001, 1002, 2000]
+        t = trace_of(
+            [make_job(job_id=i, submit_time=float(s)) for i, s in enumerate(times)]
+        )
+        assert interarrival_stats(t).cv > 1.0
+
+    def test_single_job(self):
+        assert interarrival_stats(trace_of([make_job()])).mean == 0.0
+
+    def test_synthetic_burstier_than_uniform(self, anl_trace):
+        # Diurnal + weekend modulation should push CV above ~1.
+        assert interarrival_stats(anl_trace).cv > 0.8
+
+
+class TestNodeHistogram:
+    def test_counts(self):
+        t = trace_of(
+            [make_job(job_id=1, nodes=4), make_job(job_id=2, nodes=4),
+             make_job(job_id=3, nodes=16)]
+        )
+        assert node_histogram(t) == {4: 2, 16: 1}
+
+    def test_sorted_keys(self):
+        t = trace_of([make_job(job_id=1, nodes=32), make_job(job_id=2, nodes=1)])
+        assert list(node_histogram(t)) == [1, 32]
+
+
+class TestLogUniformFit:
+    def test_true_loguniform_high_r2(self):
+        rng = np.random.default_rng(0)
+        ts = np.exp(rng.uniform(math.log(10), math.log(10_000), size=500))
+        t = trace_of(
+            [make_job(job_id=i, run_time=float(rt), queue="q")
+             for i, rt in enumerate(ts)]
+        )
+        [fit] = loguniform_fit_quality(t)
+        assert fit.category == "q"
+        assert fit.r_squared > 0.97
+        assert fit.t_max == pytest.approx(10_000, rel=0.4)
+
+    def test_groups_by_queue(self):
+        jobs = [
+            make_job(job_id=i, run_time=float(10 + i), queue="a") for i in range(12)
+        ] + [
+            make_job(job_id=100 + i, run_time=float(100 + i), queue="b")
+            for i in range(12)
+        ]
+        fits = loguniform_fit_quality(trace_of(jobs))
+        assert [f.category for f in fits] == ["a", "b"]
+
+    def test_min_points_filter(self):
+        jobs = [make_job(job_id=i, run_time=10.0 * (i + 1), queue="a")
+                for i in range(5)]
+        assert loguniform_fit_quality(trace_of(jobs), min_points=10) == []
+
+    def test_degenerate_gets_zero_r2(self):
+        jobs = [make_job(job_id=i, run_time=100.0, queue="a") for i in range(15)]
+        [fit] = loguniform_fit_quality(trace_of(jobs))
+        assert fit.r_squared == 0.0
+        assert fit.t_max is None
+
+
+class TestOverestimation:
+    def test_factors(self):
+        jobs = [
+            make_job(job_id=1, run_time=100.0, max_run_time=200.0),  # 2x
+            make_job(job_id=2, run_time=100.0, max_run_time=800.0),  # 8x
+            make_job(job_id=3, run_time=100.0, max_run_time=None),  # skipped
+        ]
+        stats = overestimation_stats(trace_of(jobs))
+        assert stats.n_with_max == 2
+        assert stats.median_factor == pytest.approx(5.0)
+        assert stats.mean_factor == pytest.approx(5.0)
+        assert stats.exceed_fraction == 0.0
+
+    def test_exceed_fraction(self):
+        jobs = [
+            make_job(job_id=1, run_time=500.0, max_run_time=100.0),
+            make_job(job_id=2, run_time=50.0, max_run_time=100.0),
+        ]
+        stats = overestimation_stats(trace_of(jobs))
+        assert stats.exceed_fraction == pytest.approx(0.5)
+
+    def test_no_maxima(self):
+        stats = overestimation_stats(trace_of([make_job(job_id=1)]))
+        assert stats.n_with_max == 0
+        assert stats.median_factor == 0.0
+
+    def test_synthetic_anl_is_loose(self, anl_trace):
+        stats = overestimation_stats(anl_trace)
+        assert stats.n_with_max == len(anl_trace)
+        assert stats.median_factor > 1.5  # users overestimate substantially
+        assert stats.exceed_fraction == 0.0  # the generator never undercuts
+
+
+class TestDispersion:
+    def test_tight_groups_small_ratio(self):
+        jobs = []
+        jid = 1
+        for g, base in enumerate([10.0, 1000.0, 100000.0]):
+            for k in range(5):
+                jobs.append(
+                    make_job(job_id=jid, user=f"u{g}", executable="e",
+                             run_time=base * (1.0 + 0.01 * k))
+                )
+                jid += 1
+        assert within_group_dispersion(trace_of(jobs)) < 0.1
+
+    def test_unstructured_near_one(self):
+        rng = np.random.default_rng(1)
+        jobs = [
+            make_job(job_id=i, user=f"u{i % 3}", executable="e",
+                     run_time=float(np.exp(rng.uniform(0, 10))))
+            for i in range(60)
+        ]
+        assert within_group_dispersion(trace_of(jobs)) > 0.6
+
+    def test_synthetic_traces_structured(self, anl_trace):
+        assert within_group_dispersion(anl_trace) < 0.8
+
+    def test_empty(self):
+        assert within_group_dispersion(trace_of([])) == 0.0

@@ -1,0 +1,98 @@
+"""Tests for repro.workloads.archive: the four paper workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.timeutils import MINUTE
+from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
+from repro.workloads.fields import WORKLOAD_FIELDS
+
+#: Table 1 of the paper: (total nodes, requests, mean run time minutes).
+_TABLE1 = {
+    "ANL": (80, 7994, 97.75),
+    "CTC": (512, 13217, 171.14),
+    "SDSC95": (400, 22885, 108.21),
+    "SDSC96": (400, 22337, 166.98),
+}
+
+
+class TestSpecs:
+    def test_names(self):
+        assert set(PAPER_WORKLOADS) == set(_TABLE1)
+
+    @pytest.mark.parametrize("name", sorted(_TABLE1))
+    def test_table1_parameters(self, name):
+        nodes, requests, mean_rt = _TABLE1[name]
+        spec = PAPER_WORKLOADS[name]
+        assert spec.total_nodes == nodes
+        assert spec.n_jobs == requests
+        assert spec.mean_run_time == pytest.approx(mean_rt * MINUTE)
+
+    def test_anl_uses_80_nodes_not_120(self):
+        # The paper's footnote: the trace lost a third of its requests, so
+        # simulations run against 80 nodes.
+        assert PAPER_WORKLOADS["ANL"].total_nodes == 80
+
+    def test_sdsc_has_queues_ctc_anl_do_not(self):
+        assert PAPER_WORKLOADS["SDSC95"].queues
+        assert PAPER_WORKLOADS["SDSC96"].queues
+        assert not PAPER_WORKLOADS["ANL"].queues
+        assert not PAPER_WORKLOADS["CTC"].queues
+
+    def test_max_run_times_per_table2(self):
+        assert PAPER_WORKLOADS["ANL"].has_max_run_time
+        assert PAPER_WORKLOADS["CTC"].has_max_run_time
+        assert not PAPER_WORKLOADS["SDSC95"].has_max_run_time
+        assert not PAPER_WORKLOADS["SDSC96"].has_max_run_time
+
+
+class TestLoad:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            load_paper_workload("LANL")
+
+    def test_scaled_load(self):
+        trace = load_paper_workload("CTC", n_jobs=100)
+        assert len(trace) == 100
+        assert trace.total_nodes == 512
+
+    def test_available_fields_stamped(self):
+        trace = load_paper_workload("ANL", n_jobs=50)
+        assert trace.available_fields == WORKLOAD_FIELDS["ANL"].available
+
+    def test_deterministic_by_default(self):
+        a = load_paper_workload("SDSC96", n_jobs=80)
+        b = load_paper_workload("SDSC96", n_jobs=80)
+        assert [j.run_time for j in a] == [j.run_time for j in b]
+
+    def test_seed_override(self):
+        a = load_paper_workload("SDSC96", n_jobs=80, seed=1)
+        b = load_paper_workload("SDSC96", n_jobs=80, seed=2)
+        assert [j.run_time for j in a] != [j.run_time for j in b]
+
+    def test_sdsc_years_differ(self):
+        a = load_paper_workload("SDSC95", n_jobs=80)
+        b = load_paper_workload("SDSC96", n_jobs=80)
+        assert [j.run_time for j in a] != [j.run_time for j in b]
+
+    @pytest.mark.parametrize("name", sorted(_TABLE1))
+    def test_fields_match_table2(self, name, request):
+        trace = load_paper_workload(name, n_jobs=200)
+        catalog = WORKLOAD_FIELDS[name]
+        sample = trace[0]
+        assert (sample.user is not None) == ("u" in catalog)
+        assert (sample.queue is not None) == ("q" in catalog)
+        assert (sample.executable is not None) == ("e" in catalog)
+        assert (sample.script is not None) == ("s" in catalog)
+        assert (sample.max_run_time is not None) == catalog.has_max_run_time
+
+    def test_mean_run_time_ordering_matches_table1(self):
+        # CTC and SDSC96 are the long-job workloads; SDSC95 and ANL shorter.
+        means = {
+            name: np.mean([j.run_time for j in load_paper_workload(name, n_jobs=1500)])
+            for name in _TABLE1
+        }
+        assert means["CTC"] > means["SDSC95"]
+        assert means["SDSC96"] > means["SDSC95"]

@@ -1,0 +1,94 @@
+"""Tests for the Feitelson workload model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads.analysis import repetition_stats, within_group_dispersion
+from repro.workloads.feitelson import feitelson_trace
+from repro.workloads.stats import offered_load
+
+
+def trace(n=800, nodes=64, **kw):
+    return feitelson_trace(n_jobs=n, total_nodes=nodes, seed=3, **kw)
+
+
+class TestFeitelsonModel:
+    def test_deterministic(self):
+        a = feitelson_trace(n_jobs=100, total_nodes=64, seed=9)
+        b = feitelson_trace(n_jobs=100, total_nodes=64, seed=9)
+        assert [j.run_time for j in a] == [j.run_time for j in b]
+        assert [j.submit_time for j in a] == [j.submit_time for j in b]
+
+    def test_seed_sensitivity(self):
+        a = feitelson_trace(n_jobs=100, total_nodes=64, seed=1)
+        b = feitelson_trace(n_jobs=100, total_nodes=64, seed=2)
+        assert [j.run_time for j in a] != [j.run_time for j in b]
+
+    def test_job_count(self):
+        assert len(trace(n=321)) == 321
+
+    def test_sizes_within_machine(self):
+        t = trace()
+        assert all(1 <= j.nodes <= 64 for j in t)
+
+    def test_powers_of_two_dominate(self):
+        t = trace(n=2000)
+        pow2 = sum(1 for j in t if j.nodes & (j.nodes - 1) == 0)
+        assert pow2 / len(t) > 0.6
+
+    def test_small_sizes_more_common(self):
+        t = trace(n=2000)
+        small = sum(1 for j in t if j.nodes <= 8)
+        large = sum(1 for j in t if j.nodes >= 32)
+        assert small > large
+
+    def test_repeated_runs_present(self):
+        stats = repetition_stats(trace(n=1500))
+        assert stats.repeat_fraction > 0.3
+        assert stats.mean_runs_per_identity > 1.2
+
+    def test_reruns_have_similar_runtimes(self):
+        assert within_group_dispersion(trace(n=1500)) < 0.6
+
+    def test_offered_load_near_target(self):
+        t = trace(n=2500, offered_load=0.6)
+        assert offered_load(t) == pytest.approx(0.6, abs=0.2)
+
+    def test_max_run_times_bound_actuals(self):
+        t = trace()
+        for j in t:
+            assert j.max_run_time is not None
+            assert j.max_run_time >= j.run_time
+
+    def test_runtime_size_correlation_positive(self):
+        t = trace(n=3000)
+        sizes = np.array([j.nodes for j in t], dtype=float)
+        rts = np.array([j.run_time for j in t], dtype=float)
+        corr = np.corrcoef(np.log(sizes + 1), np.log(rts))[0, 1]
+        assert corr > 0.02
+
+    def test_heavy_tail(self):
+        rts = np.array([j.run_time for j in trace(n=3000)])
+        assert rts.max() / np.median(rts) > 10.0
+
+    def test_available_fields(self):
+        assert trace(n=10).available_fields == frozenset({"u", "e", "n"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            feitelson_trace(n_jobs=0, total_nodes=16)
+        with pytest.raises(ValueError):
+            feitelson_trace(n_jobs=10, total_nodes=16, offered_load=2.0)
+
+    def test_runs_under_schedulers(self):
+        from repro.core.experiment import run_scheduling_experiment
+
+        t = trace(n=300)
+        for policy in ("fcfs", "lwf", "backfill"):
+            cell, res = run_scheduling_experiment(t, policy, "actual")
+            assert len(res) == 300
+            assert res.max_concurrent_nodes() <= 64

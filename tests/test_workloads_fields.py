@@ -1,0 +1,66 @@
+"""Tests for repro.workloads.fields: the Table 2 catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.fields import (
+    CHARACTERISTICS,
+    TEMPLATE_CHARACTERISTICS,
+    WORKLOAD_FIELDS,
+)
+from tests.conftest import make_job
+
+
+class TestCharacteristics:
+    def test_all_table2_abbreviations_present(self):
+        assert set(CHARACTERISTICS) == {"t", "q", "c", "u", "s", "e", "a", "na", "n"}
+
+    def test_template_characteristics_exclude_nodes(self):
+        assert "n" not in TEMPLATE_CHARACTERISTICS
+        assert set(TEMPLATE_CHARACTERISTICS) < set(CHARACTERISTICS)
+
+    def test_getters_read_job_attributes(self):
+        job = make_job(
+            user="wsmith", executable="a.out", queue="q16m", job_type="batch"
+        )
+        assert CHARACTERISTICS["u"].getter(job) == "wsmith"
+        assert CHARACTERISTICS["e"].getter(job) == "a.out"
+        assert CHARACTERISTICS["q"].getter(job) == "q16m"
+        assert CHARACTERISTICS["t"].getter(job) == "batch"
+        assert CHARACTERISTICS["n"].getter(job) == 4
+
+    def test_missing_value_is_none(self):
+        job = make_job(queue=None)
+        assert CHARACTERISTICS["q"].getter(job) is None
+
+
+class TestWorkloadFields:
+    def test_four_paper_workloads(self):
+        assert set(WORKLOAD_FIELDS) == {"ANL", "CTC", "SDSC95", "SDSC96"}
+
+    def test_anl_matches_table2(self):
+        anl = WORKLOAD_FIELDS["ANL"]
+        assert "e" in anl and "a" in anl and "u" in anl and "t" in anl
+        assert "q" not in anl and "s" not in anl
+        assert anl.has_max_run_time
+
+    def test_ctc_matches_table2(self):
+        ctc = WORKLOAD_FIELDS["CTC"]
+        assert "s" in ctc and "c" in ctc and "na" in ctc
+        assert "e" not in ctc and "q" not in ctc
+        assert ctc.has_max_run_time
+
+    @pytest.mark.parametrize("name", ["SDSC95", "SDSC96"])
+    def test_sdsc_matches_table2(self, name):
+        sdsc = WORKLOAD_FIELDS[name]
+        assert "q" in sdsc and "u" in sdsc
+        assert "e" not in sdsc and "t" not in sdsc
+        assert not sdsc.has_max_run_time
+
+    def test_categorical_ordered_subset(self):
+        cats = WORKLOAD_FIELDS["CTC"].categorical()
+        assert all(c in TEMPLATE_CHARACTERISTICS for c in cats)
+        # Order must follow Table 2 order.
+        idx = [TEMPLATE_CHARACTERISTICS.index(c) for c in cats]
+        assert idx == sorted(idx)

@@ -1,0 +1,110 @@
+"""Tests for repro.workloads.job: Job validation and Trace behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.job import Job, Trace
+from tests.conftest import make_job
+
+
+class TestJob:
+    def test_work(self):
+        job = make_job(run_time=100.0, nodes=8)
+        assert job.work == 800.0
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError, match="nodes"):
+            make_job(nodes=0)
+
+    def test_rejects_negative_run_time(self):
+        with pytest.raises(ValueError, match="run_time"):
+            make_job(run_time=-1.0)
+
+    def test_rejects_negative_submit(self):
+        with pytest.raises(ValueError, match="submit_time"):
+            make_job(submit_time=-5.0)
+
+    def test_rejects_nonpositive_max_run_time(self):
+        with pytest.raises(ValueError, match="max_run_time"):
+            make_job(max_run_time=0.0)
+
+    def test_zero_run_time_allowed(self):
+        assert make_job(run_time=0.0).run_time == 0.0
+
+    def test_with_replaces_fields(self):
+        job = make_job(run_time=100.0)
+        clone = job.with_(run_time=200.0)
+        assert clone.run_time == 200.0
+        assert clone.job_id == job.job_id
+        assert job.run_time == 100.0  # original untouched
+
+    def test_frozen(self):
+        job = make_job()
+        with pytest.raises(AttributeError):
+            job.run_time = 5.0  # type: ignore[misc]
+
+    def test_optional_fields_default_none(self):
+        job = Job(job_id=1, submit_time=0, run_time=1, nodes=1)
+        assert job.user is None
+        assert job.queue is None
+        assert job.max_run_time is None
+
+
+class TestTrace:
+    def test_sorts_by_submit_time(self):
+        jobs = [
+            make_job(job_id=1, submit_time=50.0),
+            make_job(job_id=2, submit_time=10.0),
+        ]
+        trace = Trace(jobs, total_nodes=10)
+        assert [j.job_id for j in trace] == [2, 1]
+
+    def test_tie_broken_by_job_id(self):
+        jobs = [
+            make_job(job_id=9, submit_time=5.0),
+            make_job(job_id=3, submit_time=5.0),
+        ]
+        trace = Trace(jobs, total_nodes=10)
+        assert [j.job_id for j in trace] == [3, 9]
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Trace([make_job(job_id=1), make_job(job_id=1)], total_nodes=10)
+
+    def test_rejects_oversized_job(self):
+        with pytest.raises(ValueError, match="nodes"):
+            Trace([make_job(nodes=20)], total_nodes=10)
+
+    def test_rejects_bad_total_nodes(self):
+        with pytest.raises(ValueError):
+            Trace([], total_nodes=0)
+
+    def test_len_getitem(self, small_trace):
+        assert len(small_trace) == 5
+        assert small_trace[0].job_id == 1
+
+    def test_span(self):
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, run_time=100.0),
+            make_job(job_id=2, submit_time=50.0, run_time=500.0),
+        ]
+        trace = Trace(jobs, total_nodes=10)
+        assert trace.span == 550.0
+
+    def test_span_empty(self):
+        assert Trace([], total_nodes=4).span == 0.0
+
+    def test_map_preserves_metadata(self, small_trace):
+        doubled = small_trace.map(lambda j: j.with_(run_time=j.run_time * 2))
+        assert doubled.total_nodes == small_trace.total_nodes
+        assert doubled[0].run_time == 2 * small_trace[0].run_time
+        assert len(doubled) == len(small_trace)
+
+    def test_filter(self, small_trace):
+        small = small_trace.filter(lambda j: j.nodes <= 2)
+        assert all(j.nodes <= 2 for j in small)
+        assert len(small) == 2
+
+    def test_jobs_tuple_is_immutable_view(self, small_trace):
+        assert isinstance(small_trace.jobs, tuple)

@@ -1,0 +1,64 @@
+"""Tests for repro.workloads.stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.job import Trace
+from repro.workloads.stats import offered_load, summarize
+from tests.conftest import make_job
+
+
+def _trace():
+    jobs = [
+        make_job(job_id=1, submit_time=0.0, run_time=100.0, nodes=4, user="a",
+                 queue="q1"),
+        make_job(job_id=2, submit_time=100.0, run_time=200.0, nodes=2, user="b",
+                 queue="q2"),
+    ]
+    return Trace(jobs, total_nodes=8, name="s")
+
+
+class TestOfferedLoad:
+    def test_value(self):
+        # work = 400 + 400 = 800 node-s; span = 0 .. 300 s; capacity 8.
+        assert offered_load(_trace()) == pytest.approx(800 / (300 * 8))
+
+    def test_empty(self):
+        assert offered_load(Trace([], total_nodes=4)) == 0.0
+
+    def test_single_instantaneous(self):
+        t = Trace([make_job(job_id=1, run_time=0.0)], total_nodes=4)
+        assert offered_load(t) == 0.0
+
+
+class TestSummarize:
+    def test_counts(self):
+        s = summarize(_trace())
+        assert s.n_jobs == 2
+        assert s.total_nodes == 8
+        assert s.n_users == 2
+        assert s.n_queues == 2
+
+    def test_mean_run_time_minutes(self):
+        s = summarize(_trace())
+        assert s.mean_run_time_minutes == pytest.approx(150.0 / 60.0)
+
+    def test_median(self):
+        s = summarize(_trace())
+        assert s.median_run_time_minutes == pytest.approx(150.0 / 60.0)
+
+    def test_as_row_keys(self):
+        row = summarize(_trace()).as_row()
+        assert set(row) == {
+            "Workload",
+            "Nodes",
+            "Requests",
+            "Mean Run Time (minutes)",
+            "Offered Load",
+        }
+
+    def test_empty_trace(self):
+        s = summarize(Trace([], total_nodes=4, name="e"))
+        assert s.n_jobs == 0
+        assert s.mean_run_time_minutes == 0.0

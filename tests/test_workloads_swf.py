@@ -1,0 +1,116 @@
+"""Tests for repro.workloads.swf: SWF parsing and round-trip."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.workloads.swf import job_to_swf_line, parse_swf_lines, read_swf, write_swf
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+_SAMPLE = """\
+; Computer: Test SP2
+; MaxNodes: 128
+1 0 10 300 8 -1 -1 8 600 -1 1 5 1 2 3 1 -1 -1
+2 60 -1 120 4 -1 -1 4 -1 -1 1 6 1 -1 -1 -1 -1 -1
+3 120 0 0 4 -1 -1 4 900 -1 0 5 1 2 3 1 -1 -1
+"""
+
+
+class TestParse:
+    def test_basic_fields(self):
+        trace = parse_swf_lines(io.StringIO(_SAMPLE))
+        assert trace.total_nodes == 128
+        assert len(trace) == 2  # job 3 has run_time 0 and is skipped
+        j1 = trace[0]
+        assert j1.job_id == 1
+        assert j1.submit_time == 0.0
+        assert j1.run_time == 300.0
+        assert j1.nodes == 8
+        assert j1.max_run_time == 600.0
+        assert j1.user == "user5"
+        assert j1.executable == "app2"
+        assert j1.queue == "queue3"
+        assert j1.job_class == "class1"
+
+    def test_missing_values_become_none(self):
+        trace = parse_swf_lines(io.StringIO(_SAMPLE))
+        j2 = trace[1]
+        assert j2.max_run_time is None
+        assert j2.executable is None
+        assert j2.queue is None
+
+    def test_requested_procs_preferred_over_allocated(self):
+        line = "1 0 0 100 16 -1 -1 32 -1 -1 1 1 1 1 1 1 -1 -1"
+        trace = parse_swf_lines([line], default_nodes=64)
+        assert trace[0].nodes == 32
+
+    def test_allocated_used_when_requested_missing(self):
+        line = "1 0 0 100 16 -1 -1 -1 -1 -1 1 1 1 1 1 1 -1 -1"
+        trace = parse_swf_lines([line], default_nodes=64)
+        assert trace[0].nodes == 16
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(ValueError, match="18 fields"):
+            parse_swf_lines(["1 2 3"])
+
+    def test_max_procs_fallback_header(self):
+        text = "; MaxProcs: 256\n1 0 0 100 4 -1 -1 4 -1 -1 1 1 1 1 1 1 -1 -1\n"
+        trace = parse_swf_lines(io.StringIO(text))
+        assert trace.total_nodes == 256
+
+    def test_default_nodes_from_jobs_when_no_header(self):
+        line = "1 0 0 100 48 -1 -1 48 -1 -1 1 1 1 1 1 1 -1 -1"
+        trace = parse_swf_lines([line])
+        assert trace.total_nodes == 48
+
+    def test_blank_lines_skipped(self):
+        trace = parse_swf_lines(["", "; MaxNodes: 8", "", ""])
+        assert len(trace) == 0
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        jobs = [
+            make_job(
+                job_id=1,
+                submit_time=0.0,
+                run_time=300.0,
+                nodes=8,
+                user="user5",
+                executable="app2",
+                queue="queue3",
+                max_run_time=600.0,
+            ),
+            make_job(job_id=2, submit_time=60.0, run_time=100.0, nodes=2),
+        ]
+        trace = Trace(jobs, total_nodes=64, name="rt")
+        path = tmp_path / "trace.swf"
+        write_swf(trace, path)
+        back = read_swf(path)
+        assert back.total_nodes == 64
+        assert len(back) == 2
+        assert back[0].run_time == 300.0
+        assert back[0].user == "user5"
+        assert back[0].executable == "app2"
+        assert back[0].queue == "queue3"
+        assert back[0].max_run_time == 600.0
+        assert back[1].nodes == 2
+
+    def test_line_has_18_fields(self):
+        line = job_to_swf_line(make_job())
+        assert len(line.split()) == 18
+
+    def test_write_to_stringio(self):
+        trace = Trace([make_job(job_id=1)], total_nodes=8, name="s")
+        buf = io.StringIO()
+        write_swf(trace, buf)
+        text = buf.getvalue()
+        assert "; MaxNodes: 8" in text
+        assert len(text.strip().splitlines()) == 4  # 3 header + 1 record
+
+    def test_arbitrary_identifier_hashed_stably(self):
+        job = make_job(job_id=1, user="wsmith")
+        assert job_to_swf_line(job) == job_to_swf_line(job)

@@ -1,0 +1,168 @@
+"""Tests for repro.workloads.synthetic: generator structure and calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.timeutils import HOUR, MINUTE
+from repro.workloads.stats import offered_load
+from repro.workloads.synthetic import (
+    QueueSpec,
+    SyntheticWorkloadSpec,
+    generate_trace,
+    make_paragon_queues,
+)
+
+
+def _spec(**kw) -> SyntheticWorkloadSpec:
+    base = dict(
+        name="test",
+        total_nodes=64,
+        n_jobs=600,
+        mean_run_time=60 * MINUTE,
+        offered_load=0.5,
+        n_users=20,
+    )
+    base.update(kw)
+    return SyntheticWorkloadSpec(**base)
+
+
+class TestSpecValidation:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            _spec(n_jobs=0)
+
+    def test_rejects_silly_load(self):
+        with pytest.raises(ValueError):
+            _spec(offered_load=2.0)
+
+    def test_rejects_negative_mean(self):
+        with pytest.raises(ValueError):
+            _spec(mean_run_time=-1.0)
+
+    def test_rejects_repeat_prob_one(self):
+        with pytest.raises(ValueError):
+            _spec(repeat_prob=1.0)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = _spec()
+        a = generate_trace(spec, seed=7)
+        b = generate_trace(spec, seed=7)
+        assert [j.submit_time for j in a] == [j.submit_time for j in b]
+        assert [j.run_time for j in a] == [j.run_time for j in b]
+        assert [j.user for j in a] == [j.user for j in b]
+
+    def test_seed_changes_output(self):
+        spec = _spec()
+        a = generate_trace(spec, seed=1)
+        b = generate_trace(spec, seed=2)
+        assert [j.run_time for j in a] != [j.run_time for j in b]
+
+    def test_job_count_and_override(self):
+        spec = _spec()
+        assert len(generate_trace(spec, seed=0)) == 600
+        assert len(generate_trace(spec, seed=0, n_jobs=50)) == 50
+
+    def test_nodes_within_machine(self):
+        trace = generate_trace(_spec(), seed=0)
+        assert all(1 <= j.nodes <= 64 for j in trace)
+
+    def test_mean_run_time_near_target(self):
+        trace = generate_trace(_spec(n_jobs=3000), seed=0)
+        mean = np.mean([j.run_time for j in trace])
+        # Clipping pulls the mean somewhat below target; require the ballpark.
+        assert 0.7 * 60 * MINUTE <= mean <= 1.3 * 60 * MINUTE
+
+    def test_offered_load_near_target(self):
+        trace = generate_trace(_spec(n_jobs=3000), seed=1)
+        assert offered_load(trace) == pytest.approx(0.5, abs=0.12)
+
+    def test_repeated_app_runs_have_similar_run_times(self):
+        """The structural property history predictors rely on."""
+        trace = generate_trace(_spec(n_jobs=2000, has_executable=True), seed=3)
+        by_app: dict[str, list[float]] = {}
+        for j in trace:
+            by_app.setdefault(j.executable, []).append(j.run_time)
+        big = [v for v in by_app.values() if len(v) >= 10]
+        assert big, "expected repeatedly-run applications"
+        # Within-app spread must be well below the trace-wide spread.
+        within = np.mean([np.std(np.log(v)) for v in big])
+        overall = np.std(np.log([j.run_time for j in trace]))
+        assert within < 0.75 * overall
+
+    def test_max_run_time_bounds_run_time(self):
+        trace = generate_trace(_spec(has_max_run_time=True), seed=0)
+        for j in trace:
+            assert j.max_run_time is not None
+            assert j.max_run_time >= j.run_time
+
+    def test_no_max_run_time_when_disabled(self):
+        trace = generate_trace(_spec(has_max_run_time=False), seed=0)
+        assert all(j.max_run_time is None for j in trace)
+
+    def test_types_assigned(self):
+        trace = generate_trace(
+            _spec(
+                job_types=("batch", "interactive"),
+                interactive_type="interactive",
+                interactive_fraction=0.3,
+            ),
+            seed=0,
+        )
+        kinds = {j.job_type for j in trace}
+        assert kinds == {"batch", "interactive"}
+        inter = [j for j in trace if j.job_type == "interactive"]
+        batch = [j for j in trace if j.job_type == "batch"]
+        assert np.mean([j.run_time for j in inter]) < np.mean(
+            [j.run_time for j in batch]
+        )
+
+    def test_queue_limits_respected(self):
+        queues = make_paragon_queues(64)
+        trace = generate_trace(_spec(queues=queues), seed=0)
+        by_name = {q.name: q for q in queues}
+        for j in trace:
+            q = by_name[j.queue]
+            assert j.nodes <= q.max_nodes
+            assert j.run_time <= q.max_run_time + 1e-6
+
+    def test_submit_times_sorted_nonnegative(self):
+        trace = generate_trace(_spec(), seed=0)
+        times = [j.submit_time for j in trace]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+
+    def test_script_field(self):
+        trace = generate_trace(_spec(has_script=True), seed=0)
+        assert all(j.script and j.script.endswith(".ll") for j in trace)
+
+    def test_arguments_only_with_flag(self):
+        with_args = generate_trace(
+            _spec(has_executable=True, has_arguments=True), seed=0
+        )
+        assert any(j.arguments for j in with_args)
+        without = generate_trace(_spec(has_executable=True), seed=0)
+        assert all(j.arguments is None for j in without)
+
+
+class TestParagonQueues:
+    def test_queue_count_in_paper_range(self):
+        queues = make_paragon_queues(400)
+        assert 29 <= len(queues) <= 35
+
+    def test_names_unique(self):
+        queues = make_paragon_queues(400)
+        assert len({q.name for q in queues}) == len(queues)
+
+    def test_admits(self):
+        q = QueueSpec("q16m", 16, 4 * HOUR)
+        assert q.admits(16, 4 * HOUR)
+        assert not q.admits(17, 1.0)
+        assert not q.admits(1, 5 * HOUR)
+
+    def test_covers_machine(self):
+        queues = make_paragon_queues(400)
+        assert max(q.max_nodes for q in queues) == 400
