@@ -1,0 +1,153 @@
+"""Engineering bench — replay-engine hot path (events/sec, pass cost, speedup).
+
+Measures the optimized :class:`repro.scheduler.Simulator` replaying each
+paper workload under FCFS, LWF and conservative backfill with the
+scheduler running on user maxima (the paper's §3 configuration), and the
+optimized engine against the pre-overhaul
+:class:`repro.scheduler.reference.ReferenceSimulator` on the backfill
+replay — the policy whose per-pass full-queue replan dominated the old
+profile.
+
+Reported per cell:
+
+- wall-clock seconds for the full replay,
+- events/sec (SUBMIT + FINISH events drained per second),
+- mean pass cost (wall seconds / scheduling passes).
+
+Scale follows the suite convention: ``REPRO_BENCH_JOBS`` jobs per
+workload (default 1000, ``0`` = full paper sizes from Table 1).  Set
+``REPRO_HOTPATH_JSON=/path/out.json`` to also write the measurements as
+JSON (used by ``scripts/profile_hotpath.py`` comparisons and the CI
+smoke job); otherwise the JSON goes to stdout.
+
+The speedup assertion is deliberately modest (>= 1.5x, far below the
+observed margin) and only enforced at ``REPRO_BENCH_JOBS >= 500`` —
+tiny replays are dominated by constant costs and timing noise.
+Schedule equality between the two engines is asserted at every scale;
+the exhaustive equivalence gate lives in ``tests/test_simulator_parity.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from _common import WORKLOAD_ORDER, bench_jobs, bench_trace
+
+from repro.core.registry import make_predictor
+from repro.predictors.base import PointEstimator
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy, LWFPolicy
+from repro.scheduler.reference import ReferenceBackfillPolicy, ReferenceSimulator
+from repro.scheduler.simulator import Simulator
+
+POLICIES = (FCFSPolicy, LWFPolicy, BackfillPolicy)
+
+
+def _replay(engine_cls, policy, trace):
+    """Run one replay; return (result, wall_seconds, simulator)."""
+    sim = engine_cls(
+        policy, PointEstimator(make_predictor("max", trace)), trace.total_nodes
+    )
+    t0 = time.perf_counter()
+    result = sim.run(trace)
+    return result, time.perf_counter() - t0, sim
+
+
+def _cell(workload: str, policy_cls) -> dict:
+    trace = bench_trace(workload)
+    result, wall, sim = _replay(Simulator, policy_cls(), trace)
+    passes = max(sim.schedule_passes, 1)
+    return {
+        "workload": workload,
+        "policy": policy_cls.name,
+        "jobs": len(result.records),
+        "wall_s": wall,
+        "events_per_s": sim.events_processed / wall if wall > 0 else float("inf"),
+        "passes": sim.schedule_passes,
+        "pass_cost_us": wall / passes * 1e6,
+    }
+
+
+def test_hotpath_throughput(benchmark):
+    """Events/sec and pass cost across workloads x policies (optimized engine)."""
+    cells = [_cell(w, p) for w in WORKLOAD_ORDER for p in POLICIES]
+    # pytest-benchmark wants one timed callable; re-time the heaviest
+    # cell (full backfill replay of the largest workload measured).
+    heaviest = max(
+        (c for c in cells if c["policy"] == "Backfill"), key=lambda c: c["wall_s"]
+    )
+    trace = bench_trace(heaviest["workload"])
+    benchmark.pedantic(
+        lambda: _replay(Simulator, BackfillPolicy(), trace), rounds=1, iterations=1
+    )
+
+    print()
+    header = f"{'workload':<8} {'policy':<9} {'jobs':>6} {'wall(s)':>8} {'events/s':>10} {'passes':>7} {'us/pass':>9}"
+    print(header)
+    for c in cells:
+        print(
+            f"{c['workload']:<8} {c['policy']:<9} {c['jobs']:>6} "
+            f"{c['wall_s']:>8.3f} {c['events_per_s']:>10.0f} "
+            f"{c['passes']:>7} {c['pass_cost_us']:>9.1f}"
+        )
+    _emit_json({"throughput": cells})
+    assert all(c["jobs"] > 0 for c in cells)
+
+
+def test_hotpath_speedup_vs_reference(benchmark):
+    """Optimized vs. reference engine on the backfill replay, per workload."""
+    rows = []
+    for workload in WORKLOAD_ORDER:
+        trace = bench_trace(workload)
+        res_opt, wall_opt, _ = _replay(Simulator, BackfillPolicy(), trace)
+        res_ref, wall_ref, _ = _replay(
+            ReferenceSimulator, ReferenceBackfillPolicy(), trace
+        )
+        # Speedup without sameness is meaningless — gate it here too.
+        assert res_opt.records == res_ref.records
+        rows.append(
+            {
+                "workload": workload,
+                "jobs": len(res_opt.records),
+                "optimized_s": wall_opt,
+                "reference_s": wall_ref,
+                "speedup": wall_ref / wall_opt if wall_opt > 0 else float("inf"),
+            }
+        )
+    trace = bench_trace(WORKLOAD_ORDER[0])
+    benchmark.pedantic(
+        lambda: _replay(Simulator, BackfillPolicy(), trace), rounds=1, iterations=1
+    )
+
+    print()
+    print(f"{'workload':<8} {'jobs':>6} {'optimized(s)':>13} {'reference(s)':>13} {'speedup':>8}")
+    for r in rows:
+        print(
+            f"{r['workload']:<8} {r['jobs']:>6} {r['optimized_s']:>13.3f} "
+            f"{r['reference_s']:>13.3f} {r['speedup']:>7.1f}x"
+        )
+    _emit_json({"speedup": rows})
+
+    jobs = bench_jobs()
+    if jobs is None or jobs >= 500:
+        worst = min(r["speedup"] for r in rows)
+        assert worst >= 1.5, f"backfill replay speedup regressed: {worst:.2f}x"
+
+
+def _emit_json(payload: dict) -> None:
+    payload = dict(payload, bench_jobs=bench_jobs())
+    path = os.environ.get("REPRO_HOTPATH_JSON")
+    if path:
+        existing = {}
+        if os.path.exists(path):
+            with open(path) as fh:
+                try:
+                    existing = json.load(fh)
+                except ValueError:
+                    existing = {}
+        existing.update(payload)
+        with open(path, "w") as fh:
+            json.dump(existing, fh, indent=2)
+    else:
+        print(json.dumps(payload))

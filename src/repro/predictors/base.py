@@ -12,6 +12,19 @@ the experiments use:
 
 and clamps every estimate to at least the elapsed run time, since a job
 that has already run ``a`` seconds cannot finish sooner.
+
+Estimate epochs
+---------------
+Predictors are pure functions of ``(job, elapsed)`` given a fixed
+history; only the lifecycle hooks change history.  :class:`PointEstimator`
+therefore exposes a ``history_epoch`` counter that it bumps whenever the
+wrapped predictor's history (or its own fallback statistics) may have
+changed.  The simulator uses the epoch to keep queued-job estimates
+cached *across* scheduling passes — recomputing the whole queue only
+when the epoch moves — which is exact precisely because of that purity.
+An estimator whose predictions vary with wall-clock time or call count
+must not advertise an epoch; construct :class:`PointEstimator` with
+``volatile=True`` to fall back to per-pass memoization.
 """
 
 from __future__ import annotations
@@ -63,6 +76,24 @@ class RuntimePredictor(ABC):
 
     name: str = "predictor"
 
+    #: Monotone counter of prediction-visible history changes, or ``None``
+    #: when the predictor does not track one.  A predictor that returns an
+    #: int here promises its ``predict`` output for any fixed
+    #: ``(job, elapsed)`` is unchanged while the value is unchanged;
+    #: :class:`PointEstimator` then keys its cache-invalidation epoch on
+    #: it instead of pessimistically bumping whenever a lifecycle hook is
+    #: overridden.
+    history_epoch: int | None = None
+
+    #: ``True`` promises ``predict``'s output ignores ``elapsed`` and
+    #: ``now`` entirely (given fixed history): the prediction for a
+    #: running job equals the prediction made while it was queued.  The
+    #: simulator then serves running-job remaining times from its
+    #: cross-pass cache instead of re-predicting each pass.  Predictors
+    #: that condition on elapsed run time (Smith/category, Downey,
+    #: Gibbons) must leave this ``False``.
+    elapsed_invariant: bool = False
+
     @abstractmethod
     def predict(self, job: Job, elapsed: float = 0.0, now: float = 0.0) -> Prediction | None:
         """Predict the job's total run time, or ``None`` if impossible."""
@@ -95,6 +126,7 @@ class PointEstimator:
         fall_back_to_max: bool = True,
         default: float = 600.0,
         cap_at_max: bool = False,
+        volatile: bool = False,
     ) -> None:
         if default <= 0:
             raise ValueError(f"default must be positive, got {default}")
@@ -104,10 +136,55 @@ class PointEstimator:
         self.cap_at_max = cap_at_max
         self._completed_sum = 0.0
         self._completed_count = 0
+        self._epoch = 0
+        self._volatile = volatile
+        # Submit/start hooks are no-ops on the RuntimePredictor base; only
+        # bump the epoch for predictors that actually override them, so a
+        # start does not needlessly flush the simulator's estimate cache.
+        ptype = type(predictor)
+        # A predictor with its own history_epoch is trusted to report its
+        # changes; otherwise assume any overridden lifecycle hook mutates
+        # prediction-visible state and bump pessimistically.
+        self._pred_tracks_epoch = (
+            getattr(predictor, "history_epoch", None) is not None
+        )
+        self._bump_on_submit = not self._pred_tracks_epoch and (
+            getattr(ptype, "on_submit", None) is not RuntimePredictor.on_submit
+        )
+        self._bump_on_start = not self._pred_tracks_epoch and (
+            getattr(ptype, "on_start", None) is not RuntimePredictor.on_start
+        )
+        self._bump_on_finish = not self._pred_tracks_epoch and (
+            getattr(ptype, "on_finish", None) is not RuntimePredictor.on_finish
+        )
+        # A completion always moves the running-mean fallback, but that
+        # only invalidates cached estimates if some prediction since the
+        # last bump actually consumed the mean; track consumption so
+        # static predictors (user maxima, actual run times) keep a
+        # permanently valid cache.
+        self._mean_used = False
 
     @property
     def name(self) -> str:
         return self.predictor.name
+
+    @property
+    def history_epoch(self) -> object | None:
+        """Monotone marker; unchanged value means unchanged predictions.
+
+        ``None`` for volatile estimators, which disables cross-pass
+        caching in the simulator (every pass re-predicts, the pre-epoch
+        behaviour).  When the wrapped predictor tracks its own epoch the
+        marker combines it with the adapter's fallback epoch.
+        """
+        if self._volatile:
+            return None
+        if self._pred_tracks_epoch:
+            pred_epoch = self.predictor.history_epoch
+            if pred_epoch is None:
+                return None
+            return (self._epoch, pred_epoch)
+        return self._epoch
 
     def predict(self, job: Job, elapsed: float, now: float) -> float:
         pred = self.predictor.predict(job, elapsed, now)
@@ -117,19 +194,41 @@ class PointEstimator:
             est = job.max_run_time
         elif self._completed_count > 0:
             est = self._completed_sum / self._completed_count
+            self._mean_used = True
         else:
+            # The default gives way to the running mean at the first
+            # completion, so it counts as mean consumption too.
             est = self.default
+            self._mean_used = True
         if self.cap_at_max and job.max_run_time is not None:
             est = min(est, job.max_run_time)
         return max(est, elapsed)
 
+    @property
+    def elapsed_invariant(self) -> bool:
+        """``predict(job, e, t)`` equals ``max(predict(job, 0, t'), e)``.
+
+        Holds at fixed epoch when the wrapped predictor ignores elapsed
+        and now: the fallback chain and cap don't consult them, leaving
+        the final ``max(est, elapsed)`` clamp as the only dependence.
+        Volatile estimators never advertise it.
+        """
+        return not self._volatile and self.predictor.elapsed_invariant
+
     def on_submit(self, job: Job, now: float) -> None:
+        if self._bump_on_submit:
+            self._epoch += 1
         self.predictor.on_submit(job, now)
 
     def on_start(self, job: Job, now: float) -> None:
+        if self._bump_on_start:
+            self._epoch += 1
         self.predictor.on_start(job, now)
 
     def on_finish(self, job: Job, now: float) -> None:
+        if self._bump_on_finish or self._mean_used:
+            self._epoch += 1
+            self._mean_used = False
         self._completed_sum += job.run_time
         self._completed_count += 1
         self.predictor.on_finish(job, now)

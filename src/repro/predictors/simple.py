@@ -22,6 +22,7 @@ class ActualRuntimePredictor(RuntimePredictor):
     """The clairvoyant oracle: predicts the exact run time."""
 
     name = "actual"
+    elapsed_invariant = True
 
     def predict(self, job: Job, elapsed: float = 0.0, now: float = 0.0) -> Prediction:
         return Prediction(estimate=job.run_time, interval=0.0, source="actual")
@@ -31,11 +32,16 @@ class MaxRuntimePredictor(RuntimePredictor):
     """User-supplied maximum run times, with per-queue derivation."""
 
     name = "max"
+    elapsed_invariant = True
 
     def __init__(self, queue_maxima: dict[str, float] | None = None) -> None:
         self._queue_maxima: dict[str, float] = dict(queue_maxima or {})
         self._static = queue_maxima is not None
         self._global_max = max(self._queue_maxima.values(), default=0.0)
+        # Predictions only change when a stored maximum moves (never, in
+        # the precomputed from_trace mode) — declare it so PointEstimator
+        # keeps cached estimates across completions.
+        self.history_epoch = 0
 
     @classmethod
     def from_trace(cls, trace: Trace) -> "MaxRuntimePredictor":
@@ -50,6 +56,11 @@ class MaxRuntimePredictor(RuntimePredictor):
         # Online fallback mode only: learn queue maxima as jobs complete.
         if self._static or job.queue is None:
             return
+        if (
+            job.run_time > self._queue_maxima.get(job.queue, 0.0)
+            or job.run_time > self._global_max
+        ):
+            self.history_epoch += 1
         self._queue_maxima[job.queue] = max(
             self._queue_maxima.get(job.queue, 0.0), job.run_time
         )

@@ -13,10 +13,29 @@ The availability profile is a step function of free nodes over future
 time, seeded from the estimated remaining run times of the running jobs.
 Estimate quality therefore matters much more here than for LWF: a hole in
 the profile is only as real as the estimates that shaped it (§4).
+
+Hot path
+--------
+Because the profile is pass-local state, two exact shortcuts apply:
+
+- **Seeding** batches the running jobs' releases through
+  :meth:`AvailabilityProfile.rebuild` (sort once, build the step arrays
+  in one append-only sweep) instead of one O(n) ``list.insert`` per
+  release, and reuses one scratch profile object across passes.
+- **Early exit**: reservations carved for jobs that cannot start are
+  discarded at the end of the pass, so the walk may stop as soon as no
+  remaining job can start *now*.  Free nodes at ``now`` only shrink as
+  the walk carves, so once they drop below the minimum node request of
+  the remaining queue suffix, no later job can have an earliest start of
+  ``now`` — the selected set is provably unchanged.
+
+Both are equivalence-gated by ``tests/test_simulator_parity.py`` against
+the reference engine in :mod:`repro.scheduler.reference`.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Sequence
 
@@ -32,10 +51,14 @@ class AvailabilityProfile:
 
     Maintained as parallel arrays ``times`` / ``free`` where ``free[i]``
     holds on ``[times[i], times[i+1])`` and the last segment extends to
-    infinity.  Supports the two operations backfill needs: find the
-    earliest start for an ``(nodes, duration)`` request, and carve a
-    committed allocation out of the profile.
+    infinity.  Supports the operations backfill needs: find the earliest
+    start for an ``(nodes, duration)`` request, carve a committed
+    allocation out of the profile — or both at once via :meth:`reserve`,
+    which finds and carves in a single walk — plus bulk construction
+    from a batch of releases (:meth:`rebuild` / :meth:`from_releases`).
     """
+
+    __slots__ = ("total_nodes", "times", "free")
 
     def __init__(self, start_time: float, free_nodes: int, total_nodes: int) -> None:
         if not 0 <= free_nodes <= total_nodes:
@@ -45,6 +68,64 @@ class AvailabilityProfile:
         self.total_nodes = total_nodes
         self.times: list[float] = [start_time]
         self.free: list[int] = [free_nodes]
+
+    @classmethod
+    def from_releases(
+        cls,
+        start_time: float,
+        free_nodes: int,
+        total_nodes: int,
+        releases: Sequence[tuple[float, int]],
+    ) -> "AvailabilityProfile":
+        """Profile seeded from ``(time, nodes)`` release pairs in one sweep."""
+        profile = cls(start_time, free_nodes, total_nodes)
+        profile.rebuild(start_time, free_nodes, releases)
+        return profile
+
+    def rebuild(
+        self,
+        start_time: float,
+        free_nodes: int,
+        releases: Sequence[tuple[float, int]],
+    ) -> None:
+        """Reset to ``free_nodes`` at ``start_time`` and apply ``releases``.
+
+        Equivalent to a fresh profile plus one :meth:`add_release` per
+        pair, but append-then-merge: the releases are sorted once and the
+        step arrays built left to right with no mid-list inserts —
+        O(n log n) for n releases instead of O(n²).  Reusing the same
+        profile object across scheduling passes also recycles the arrays.
+        """
+        if not 0 <= free_nodes <= self.total_nodes:
+            raise ValueError(
+                f"free_nodes {free_nodes} outside [0, {self.total_nodes}]"
+            )
+        times = self.times
+        free = self.free
+        times.clear()
+        free.clear()
+        times.append(start_time)
+        free.append(free_nodes)
+        if not releases:
+            return
+        total = self.total_nodes
+        current = free_nodes
+        for time, nodes in sorted(releases):
+            if nodes <= 0:
+                raise ValueError(f"release of {nodes} nodes")
+            current += nodes
+            if current > total:
+                raise RuntimeError("availability profile exceeds machine capacity")
+            if time <= start_time:
+                # Releases at/before the origin fold into the first step.
+                for i in range(len(free)):
+                    free[i] += nodes
+                continue
+            if time == times[-1]:
+                free[-1] = current
+            else:
+                times.append(time)
+                free.append(current)
 
     def add_release(self, time: float, nodes: int) -> None:
         """Record ``nodes`` becoming free at ``time`` (a running job ending)."""
@@ -59,8 +140,6 @@ class AvailabilityProfile:
 
     def _ensure_breakpoint(self, time: float) -> int:
         """Insert a breakpoint at ``time`` if absent; return its index."""
-        import bisect
-
         i = bisect.bisect_left(self.times, time)
         if i < len(self.times) and self.times[i] == time:
             return i
@@ -81,28 +160,62 @@ class AvailabilityProfile:
         floors the result — FCFS-style in-order planning uses it to keep
         start times monotone in arrival order.
         """
+        anchor, _, _ = self._find_slot(nodes, duration, not_before)
+        return anchor
+
+    def _find_slot(
+        self, nodes: int, duration: float, not_before: float | None
+    ) -> tuple[float, int, int]:
+        """``(anchor, i, j)``: earliest feasible anchor, its segment index,
+        and the first segment index at/after ``anchor + duration``."""
         if nodes > self.total_nodes:
             raise ValueError(
                 f"request for {nodes} nodes exceeds machine size {self.total_nodes}"
             )
         if duration < 0:
             raise ValueError(f"negative duration {duration}")
-        n = len(self.times)
-        floor = self.times[0] if not_before is None else max(not_before, self.times[0])
+        times = self.times
+        free = self.free
+        n = len(times)
+        floor = times[0]
+        if not_before is None or not_before <= floor:
+            # Hot path (every backfill reservation): the anchor is always
+            # the candidate segment's own start, so the per-segment floor
+            # clamp and next-breakpoint lookahead vanish from the scan.
+            i = 0
+            while i < n:
+                if free[i] < nodes:
+                    i += 1
+                    continue
+                anchor = times[i]
+                end = anchor + duration
+                j = i + 1
+                while j < n and times[j] < end:
+                    if free[j] < nodes:
+                        # Restart after the violation — nothing between
+                        # can host the anchor.
+                        i = j + 1
+                        break
+                    j += 1
+                else:
+                    return anchor, i, j
+            raise RuntimeError("no feasible start found (profile never clears)")
+        floor = not_before
         i = 0
         while i < n:
-            anchor = max(self.times[i], floor)
-            if i + 1 < n and self.times[i + 1] <= anchor:
+            t = times[i]
+            anchor = t if t > floor else floor
+            if i + 1 < n and times[i + 1] <= anchor:
                 i += 1
                 continue
-            if self.free[i] < nodes:
+            if free[i] < nodes:
                 i += 1
                 continue
             end = anchor + duration
             ok = True
             j = i + 1
-            while j < n and self.times[j] < end:
-                if self.free[j] < nodes:
+            while j < n and times[j] < end:
+                if free[j] < nodes:
                     ok = False
                     # Restart the scan at the first segment after the
                     # violation — nothing between can host the anchor.
@@ -110,8 +223,44 @@ class AvailabilityProfile:
                     break
                 j += 1
             if ok:
-                return anchor
+                return anchor, i, j
         raise RuntimeError("no feasible start found (profile never clears)")
+
+    def reserve(
+        self, nodes: int, duration: float, *, not_before: float | None = None
+    ) -> float:
+        """Find the earliest start and carve it, in one walk.
+
+        Exactly equivalent to ``start = earliest_start(...)`` followed by
+        ``carve(start, duration, nodes)``, but the carve reuses the
+        feasibility scan's segment indices instead of re-bisecting, and
+        skips the overcommit re-checks the scan already guarantees.
+        """
+        anchor, i, j = self._find_slot(nodes, duration, not_before)
+        if duration <= 0:
+            return anchor
+        times = self.times
+        free = self.free
+        if times[i] != anchor:
+            i += 1
+            times.insert(i, anchor)
+            free.insert(i, free[i - 1])
+            j += 1
+        end = anchor + duration
+        if end == anchor:
+            # Degenerate positive duration that underflows at the
+            # anchor's magnitude: the end breakpoint coincides with the
+            # anchor (already ensured above) and no segment loses nodes.
+            return anchor
+        if math.isfinite(end):
+            if j >= len(times) or times[j] != end:
+                times.insert(j, end)
+                free.insert(j, free[j - 1])
+        else:
+            j = len(times)
+        for k in range(i, j):
+            free[k] -= nodes
+        return anchor
 
     def carve(
         self, start: float, duration: float, nodes: int, *, clamp: bool = False
@@ -138,8 +287,6 @@ class AvailabilityProfile:
 
     def free_at(self, time: float) -> int:
         """Free nodes at ``time`` (for tests/inspection)."""
-        import bisect
-
         i = bisect.bisect_right(self.times, time) - 1
         if i < 0:
             raise ValueError(f"time {time} precedes profile start")
@@ -158,27 +305,69 @@ class BackfillPolicy(Policy):
     #: (see repro.waitpred.fast).
     min_duration: float = 1e-6
 
-    def select(self, view) -> Sequence:
-        profile = AvailabilityProfile(view.now, view.free_nodes, view.total_nodes)
-        for rj in view.running:
-            profile.add_release(view.now + view.remaining(rj), rj.job.nodes)
-        # Reservations currently holding nodes release at known times.
+    def __init__(self) -> None:
+        # Scratch profile reused across passes (never carries state
+        # between calls — select() rebuilds it from the view each time).
+        self._profile: AvailabilityProfile | None = None
+
+    def _seeded_profile(self, view) -> AvailabilityProfile:
+        """The pass's availability profile, rebuilt in the scratch object."""
+        now = view.now
+        releases = [
+            (now + view.remaining(rj), rj.job.nodes) for rj in view.running
+        ]
         for ares in getattr(view, "active_reservations", ()):
-            profile.add_release(max(ares.end_time, view.now), ares.nodes)
-        # Advance reservations (if the simulator carries any) are carved
-        # out first so no queued job is planned into their windows.
+            end = ares.end_time
+            releases.append((end if end > now else now, ares.nodes))
+        profile = self._profile
+        if profile is None or profile.total_nodes != view.total_nodes:
+            profile = AvailabilityProfile(now, view.free_nodes, view.total_nodes)
+            self._profile = profile
+        profile.rebuild(now, view.free_nodes, releases)
         for pres in getattr(view, "reservations", ()):
             profile.carve(
-                max(pres.effective_start, view.now),
+                max(pres.effective_start, now),
                 pres.duration,
                 pres.nodes,
                 clamp=True,
             )
+        return profile
+
+    def select(self, view) -> Sequence:
+        queued = list(view.queued)  # arrival order
+        if not queued:
+            return []
+        # Suffix minima of node requests: suffix_min[k] is the smallest
+        # request among queued[k:], the early-exit threshold below.
+        n = len(queued)
+        suffix_min = [0] * n
+        smallest = queued[-1].job.nodes
+        for k in range(n - 1, -1, -1):
+            nd = queued[k].job.nodes
+            if nd < smallest:
+                smallest = nd
+            suffix_min[k] = smallest
+        free_now = view.free_nodes
+        if free_now < suffix_min[0]:
+            # Not even the narrowest queued job fits right now, so the
+            # pass starts nothing; skip building the profile entirely
+            # (its reservations would be discarded anyway).
+            return []
+        now = view.now
+        min_duration = self.min_duration
+        estimate = view.estimate
+        profile = self._seeded_profile(view)
+        reserve = profile.reserve
         started = []
-        for qj in view.queued:  # arrival order
-            duration = max(view.estimate(qj), self.min_duration)
-            start = profile.earliest_start(qj.job.nodes, duration)
-            profile.carve(start, duration, qj.job.nodes)
-            if start <= view.now:
+        for k in range(n):
+            if free_now < suffix_min[k]:
+                break  # no remaining job can start now; see module docstring
+            qj = queued[k]
+            duration = estimate(qj)
+            if duration < min_duration:
+                duration = min_duration
+            start = reserve(qj.job.nodes, duration)
+            if start <= now:
                 started.append(qj)
+                free_now -= qj.job.nodes
         return started

@@ -36,11 +36,21 @@ class EASYBackfillPolicy(Policy):
         queued = list(view.queued)  # arrival order
         if not queued:
             return []
-        profile = AvailabilityProfile(view.now, view.free_nodes, view.total_nodes)
-        for rj in view.running:
-            profile.add_release(view.now + view.remaining(rj), rj.job.nodes)
-        for ares in getattr(view, "active_reservations", ()):
-            profile.add_release(max(ares.end_time, view.now), ares.nodes)
+        # EASY starts jobs only at `now`, so if even the narrowest queued
+        # job exceeds the free nodes nothing can start and the profile
+        # (whose reservations are pass-local) need not be built at all.
+        if view.free_nodes < min(qj.job.nodes for qj in queued):
+            return []
+        releases = [
+            (view.now + view.remaining(rj), rj.job.nodes) for rj in view.running
+        ]
+        releases.extend(
+            (max(ares.end_time, view.now), ares.nodes)
+            for ares in getattr(view, "active_reservations", ())
+        )
+        profile = AvailabilityProfile.from_releases(
+            view.now, view.free_nodes, view.total_nodes, releases
+        )
         for pres in getattr(view, "reservations", ()):
             profile.carve(
                 max(pres.effective_start, view.now),

@@ -30,15 +30,23 @@ class LWFPolicy(Policy):
     name = "LWF"
 
     def select(self, view) -> Sequence:
+        queued = list(view.queued)
+        if not queued:
+            return []
+        free = view.free_nodes
+        # Nothing fits when even the narrowest job exceeds the free
+        # nodes — skip the estimate lookups and the sort entirely.
+        if free < min(qj.job.nodes for qj in queued):
+            return []
+        estimate = view.estimate
         order = sorted(
-            view.queued,
+            queued,
             key=lambda qj: (
-                qj.job.nodes * view.estimate(qj),
+                qj.job.nodes * estimate(qj),
                 qj.job.submit_time,
                 qj.job.job_id,
             ),
         )
-        free = view.free_nodes
         started = []
         for qj in order:
             if qj.job.nodes <= free:

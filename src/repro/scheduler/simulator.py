@@ -19,13 +19,24 @@ queued jobs).  Optional lifecycle hooks ``on_submit(job, now)``,
 — the historical predictors use ``on_finish`` to grow their category
 databases.  The same protocol is shared by observers (used for wait-time
 evaluation), whose hooks additionally receive the live view.
+
+Estimate caching
+----------------
+Estimators may additionally expose an integer ``history_epoch`` that
+changes whenever their predictions may have changed (see
+:mod:`repro.predictors.base`).  For such estimators the simulator keeps
+queued-job estimates in a cache that survives across scheduling passes
+and is flushed only when the epoch moves, instead of re-predicting the
+whole queue at every event.  Estimators without an epoch get the
+historical behaviour: estimates are memoized per pass only.  Running-job
+``remaining`` estimates condition on elapsed time and are always
+per-pass.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+from typing import Any, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.scheduler.cluster import NodePool
 from repro.scheduler.events import FINISH, RES_END, RES_START, SUBMIT, EventQueue
@@ -38,6 +49,7 @@ __all__ = [
     "QueuedJob",
     "RunningJob",
     "PendingReservation",
+    "IndexedJobList",
     "SchedulerView",
     "SystemSnapshot",
     "Simulator",
@@ -116,17 +128,79 @@ class PendingReservation:
         return self.reservation.duration
 
 
+class IndexedJobList:
+    """Insertion-ordered job collection with O(1) lookup and removal.
+
+    Replaces the plain lists the simulator used for ``queued`` and
+    ``running``: iteration preserves insertion (arrival/start) order via
+    dict ordering, while ``remove``/``__contains__`` key on ``job_id``
+    instead of scanning.  Supports the small list-like surface the rest
+    of the codebase (and tests) use: ``append``, ``remove``, iteration,
+    ``len``, membership, and positional indexing.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._items: dict[int, Any] = {}
+        for item in items:
+            self.append(item)
+
+    def append(self, item: Any) -> None:
+        jid = item.job_id
+        if jid in self._items:
+            raise ValueError(f"job {jid} already present")
+        self._items[jid] = item
+
+    def remove(self, item: Any) -> None:
+        current = self._items.get(item.job_id)
+        if current is not item and current != item:
+            raise ValueError(f"job {item.job_id} not present")
+        del self._items[item.job_id]
+
+    def get(self, job_id: int) -> Any | None:
+        """The entry for ``job_id``, or ``None``."""
+        return self._items.get(job_id)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __contains__(self, item: Any) -> bool:
+        current = self._items.get(getattr(item, "job_id", None))
+        return current is item or (current is not None and current == item)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items.values())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, index):
+        return list(self._items.values())[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexedJobList({list(self._items.values())!r})"
+
+
 class SchedulerView:
     """What a policy (or observer) may see of the simulator state.
 
-    Estimates are memoized per scheduling pass: the paper's algorithms
-    re-predict all jobs on every pass, and within one pass each job's
-    estimate must be consistent across the policy's comparisons.
+    Queued-job estimates are served from the simulator's epoch-gated
+    cache (cross-pass for epoch-aware estimators, per-view otherwise);
+    within one pass each job's estimate is consistent across the
+    policy's comparisons, as the paper's algorithms require.  Remaining
+    times of running jobs condition on elapsed time and are memoized per
+    view only.
     """
 
     def __init__(self, sim: "Simulator") -> None:
         self._sim = sim
-        self._cache: dict[int, float] = {}
+        self._cache = sim._shared_estimate_cache()
+        self._remaining: dict[int, float] = {}
+        self._elapsed_invariant = sim._est_invariant
 
     @property
     def now(self) -> float:
@@ -164,13 +238,12 @@ class SchedulerView:
         availability profiles; myopic policies ignore them and any
         resulting collision shows up as reservation delay.
         """
-        out = [
-            PendingReservation(r, self._sim.now)
-            for r in self._sim.waiting_reservations
-        ]
+        sim = self._sim
+        if not sim.waiting_reservations and not sim.pending_reservations:
+            return ()
+        out = [PendingReservation(r, sim.now) for r in sim.waiting_reservations]
         out.extend(
-            PendingReservation(r, r.start_time)
-            for r in self._sim.pending_reservations
+            PendingReservation(r, r.start_time) for r in sim.pending_reservations
         )
         out.sort(key=lambda p: (p.effective_start, p.reservation.res_id))
         return tuple(out)
@@ -179,8 +252,11 @@ class SchedulerView:
         """Estimated total run time of a queued job (>= tiny epsilon)."""
         est = self._cache.get(qj.job_id)
         if est is None:
-            est = self._sim.estimator.predict(qj.job, 0.0, self.now)
-            est = max(float(est), _EPS)
+            sim = self._sim
+            est = sim.estimator.predict(qj.job, 0.0, sim.now)
+            est = float(est)
+            if est < _EPS:
+                est = _EPS
             self._cache[qj.job_id] = est
         return est
 
@@ -191,15 +267,27 @@ class SchedulerView:
         to at least the elapsed time — a job that has run ``a`` seconds
         cannot finish before ``a`` (§2 corrected semantics).
         """
-        elapsed = rj.elapsed(self.now)
-        est = self._cache.get(rj.job_id)
+        sim = self._sim
+        elapsed = rj.elapsed(sim.now)
+        if self._elapsed_invariant:
+            # predict(job, e, t) == max(predict(job, 0, t'), e) at fixed
+            # epoch, so the queued-time estimate from the cross-pass
+            # cache doubles as the running-job base — no re-prediction.
+            base = self._cache.get(rj.job_id)
+            if base is None:
+                base = float(sim.estimator.predict(rj.job, 0.0, sim.now))
+                self._cache[rj.job_id] = base
+            est = base if base > elapsed else elapsed
+            return max(est - elapsed, _EPS)
+        est = self._remaining.get(rj.job_id)
         if est is None:
-            est = float(self._sim.estimator.predict(rj.job, elapsed, self.now))
-            self._cache[rj.job_id] = est
+            est = float(sim.estimator.predict(rj.job, elapsed, sim.now))
+            self._remaining[rj.job_id] = est
         return max(est - elapsed, _EPS)
 
     def invalidate(self) -> None:
         self._cache.clear()
+        self._remaining.clear()
 
 
 @dataclass(frozen=True)
@@ -225,8 +313,8 @@ class Simulator:
         self.estimator = estimator
         self.pool = NodePool(total_nodes)
         self.now = 0.0
-        self.queued: list[QueuedJob] = []
-        self.running: list[RunningJob] = []
+        self.queued: IndexedJobList = IndexedJobList()
+        self.running: IndexedJobList = IndexedJobList()
         self._events = EventQueue()
         self._records: list[JobRecord] = []
         self._started: dict[int, float] = {}
@@ -235,6 +323,14 @@ class Simulator:
         self.waiting_reservations: list[Reservation] = []
         self.active_reservations: list[ActiveReservation] = []
         self.reservation_records: list[ReservationRecord] = []
+        #: Queued-job estimates surviving across passes, gated by the
+        #: estimator's ``history_epoch`` (see _shared_estimate_cache).
+        self._est_cache: dict[int, float] = {}
+        self._est_cache_epoch: object = object()  # != any int: first sync clears
+        self._est_invariant = bool(getattr(estimator, "elapsed_invariant", False))
+        #: Lightweight instrumentation for the hot-path benchmarks.
+        self.events_processed = 0
+        self.schedule_passes = 0
 
     # ------------------------------------------------------------------
     # setup
@@ -249,8 +345,7 @@ class Simulator:
                 f"simulator built for {self.pool.total} nodes but trace "
                 f"declares {trace.total_nodes}"
             )
-        for job in trace:
-            self._events.push(job.submit_time, SUBMIT, job)
+        self._events.extend((job.submit_time, SUBMIT, job) for job in trace)
 
     def add_reservations(self, reservations: Iterable[Reservation]) -> None:
         """Register advance reservations (before or during :meth:`run`).
@@ -322,8 +417,9 @@ class Simulator:
         """
         if trace is not None:
             self.load_trace(trace)
-        while self._events:
-            t = self._events.peek_time()
+        events = self._events
+        while events:
+            t = events.peek_time()
             assert t is not None
             if until_time is not None and t > until_time:
                 self.now = max(self.now, until_time)
@@ -333,8 +429,9 @@ class Simulator:
             self.now = max(self.now, t)
             # Drain every event at this instant (finishes first) so the
             # scheduling pass sees the complete state.
-            while self._events and self._events.peek_time() == t:
-                _, kind, payload = self._events.pop()
+            while events and events.peek_time() == t:
+                _, kind, payload = events.pop()
+                self.events_processed += 1
                 if kind == FINISH:
                     self._handle_finish(payload)
                 elif kind == RES_END:
@@ -351,6 +448,17 @@ class Simulator:
                 return self.result()
         return self.result()
 
+    def schedule_now(self) -> list[QueuedJob]:
+        """Run one scheduling pass at the current instant; return starts.
+
+        Public entry point for callers that hold mid-flight state (e.g.
+        a freshly loaded snapshot) and need the starts that require no
+        event at all — the same activation + pass sequence :meth:`run`
+        performs after draining a timestamp.
+        """
+        self._activate_waiting_reservations()
+        return self._schedule_pass()
+
     def result(self) -> ScheduleResult:
         return ScheduleResult(self._records, total_nodes=self.pool.total)
 
@@ -360,17 +468,37 @@ class Simulator:
         return dict(self._started)
 
     # ------------------------------------------------------------------
+    # estimate cache
+    # ------------------------------------------------------------------
+    def _shared_estimate_cache(self) -> dict[int, float]:
+        """The queued-estimate cache valid for the estimator's current epoch.
+
+        Epoch-aware estimators (``history_epoch`` attribute) share one
+        dict across passes, flushed whenever the epoch moves.  Estimators
+        without an epoch — or volatile ones advertising ``None`` — get a
+        fresh dict per view, i.e. the historical per-pass memoization.
+        """
+        epoch = getattr(self.estimator, "history_epoch", None)
+        if epoch is None:
+            return {}
+        if epoch != self._est_cache_epoch:
+            self._est_cache_epoch = epoch
+            self._est_cache.clear()
+        return self._est_cache
+
+    # ------------------------------------------------------------------
     # event handlers
     # ------------------------------------------------------------------
     def _handle_submit(self, job: Job) -> None:
         qj = QueuedJob(job)
         self.queued.append(qj)
         self._notify_estimator("on_submit", job)
-        view = SchedulerView(self)
-        for obs in self._observers:
-            hook = getattr(obs, "on_submit", None)
-            if hook is not None:
-                hook(view, qj)
+        if self._observers:
+            view = SchedulerView(self)
+            for obs in self._observers:
+                hook = getattr(obs, "on_submit", None)
+                if hook is not None:
+                    hook(view, qj)
 
     def _handle_finish(self, rj: RunningJob) -> None:
         try:
@@ -388,11 +516,12 @@ class Simulator:
             )
         )
         self._notify_estimator("on_finish", rj.job)
-        view = SchedulerView(self)
-        for obs in self._observers:
-            hook = getattr(obs, "on_finish", None)
-            if hook is not None:
-                hook(view, rj.job)
+        if self._observers:
+            view = SchedulerView(self)
+            for obs in self._observers:
+                hook = getattr(obs, "on_finish", None)
+                if hook is not None:
+                    hook(view, rj.job)
 
     def _handle_reservation_start(self, res: Reservation) -> None:
         self.pending_reservations.remove(res)
@@ -404,6 +533,8 @@ class Simulator:
 
     def _activate_waiting_reservations(self) -> None:
         """Give due reservations first claim on free nodes."""
+        if not self.waiting_reservations:
+            return
         still_waiting: list[Reservation] = []
         for res in self.waiting_reservations:
             if self.pool.free >= res.nodes:
@@ -427,6 +558,11 @@ class Simulator:
     def _schedule_pass(self) -> list[QueuedJob]:
         if not self.queued:
             return []
+        if self.pool.free == 0:
+            # Every job needs >= 1 node, so no policy can start anything;
+            # reservations are recomputed from scratch next pass anyway.
+            return []
+        self.schedule_passes += 1
         view = SchedulerView(self)
         selections = list(self.policy.select(view))
         selected_ids = {qj.job_id for qj in selections}
@@ -443,16 +579,22 @@ class Simulator:
     def _start(self, qj: QueuedJob) -> None:
         self.pool.allocate(qj.job.nodes)  # raises if the policy overcommitted
         self.queued.remove(qj)
+        if not self._est_invariant:
+            # No longer queued; keep the cache small.  Elapsed-invariant
+            # estimators keep the entry — it doubles as the running-job
+            # base in SchedulerView.remaining.
+            self._est_cache.pop(qj.job_id, None)
         rj = RunningJob(job=qj.job, start_time=self.now)
         self.running.append(rj)
         self._started[qj.job_id] = self.now
         self._events.push(self.now + max(qj.job.run_time, 0.0), FINISH, rj)
         self._notify_estimator("on_start", qj.job)
-        view = SchedulerView(self)
-        for obs in self._observers:
-            hook = getattr(obs, "on_start", None)
-            if hook is not None:
-                hook(view, qj.job)
+        if self._observers:
+            view = SchedulerView(self)
+            for obs in self._observers:
+                hook = getattr(obs, "on_start", None)
+                if hook is not None:
+                    hook(view, qj.job)
 
     def _notify_estimator(self, hook_name: str, job: Job) -> None:
         hook = getattr(self.estimator, hook_name, None)
@@ -467,6 +609,12 @@ class FrozenEstimator:
     wait-time query: within the imagined future, the scheduler believes
     exactly those numbers.
     """
+
+    #: Predictions never change, so the estimate cache never flushes.
+    history_epoch = 0
+    #: ...and ignore elapsed/now entirely, so max(predict(job, e), e)
+    #: depends only on the cached elapsed-0 prediction.
+    elapsed_invariant = True
 
     def __init__(self, predictions: dict[int, float]) -> None:
         self._predictions = dict(predictions)
@@ -539,7 +687,7 @@ def forward_simulate(
     # job fits right now); run() performs a pass at the first event, but
     # an explicit pass at t=now catches starts that need no event at all.
     sim.now = snapshot.now
-    started = sim._schedule_pass()
+    started = sim.schedule_now()
     if any(qj.job_id == target_job_id for qj in started):
         return snapshot.now
     sim.run(until_started=target_job_id)

@@ -49,13 +49,16 @@ def _seed_profile(
 ) -> AvailabilityProfile:
     """Profile of free nodes from the snapshot's running jobs."""
     used = sum(rj.job.nodes for rj in snapshot.running)
-    profile = AvailabilityProfile(
-        snapshot.now, snapshot.total_nodes - used, snapshot.total_nodes
+    releases = [
+        (
+            snapshot.now + max(durations[rj.job_id] - rj.elapsed(snapshot.now), _EPS),
+            rj.job.nodes,
+        )
+        for rj in snapshot.running
+    ]
+    return AvailabilityProfile.from_releases(
+        snapshot.now, snapshot.total_nodes - used, snapshot.total_nodes, releases
     )
-    for rj in snapshot.running:
-        remaining = max(durations[rj.job_id] - rj.elapsed(snapshot.now), _EPS)
-        profile.add_release(snapshot.now + remaining, rj.job.nodes)
-    return profile
 
 
 def fcfs_predicted_start(
@@ -66,10 +69,7 @@ def fcfs_predicted_start(
     prev_start = snapshot.now
     for qj in snapshot.queued:  # arrival order
         duration = max(durations[qj.job_id], _EPS)
-        start = profile.earliest_start(
-            qj.job.nodes, duration, not_before=prev_start
-        )
-        profile.carve(start, duration, qj.job.nodes)
+        start = profile.reserve(qj.job.nodes, duration, not_before=prev_start)
         prev_start = start
         if qj.job_id == target_job_id:
             return start
@@ -87,8 +87,7 @@ def backfill_predicted_start(
     profile = _seed_profile(snapshot, durations)
     for qj in snapshot.queued:  # arrival order
         duration = max(durations[qj.job_id], BackfillPolicy.min_duration)
-        start = profile.earliest_start(qj.job.nodes, duration)
-        profile.carve(start, duration, qj.job.nodes)
+        start = profile.reserve(qj.job.nodes, duration)
         if qj.job_id == target_job_id:
             return start
     raise KeyError(f"job {target_job_id} not in snapshot queue")

@@ -35,6 +35,7 @@ used.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -145,12 +146,12 @@ class _WaitCategory:
 
     def __init__(self, max_history: int | None) -> None:
         self.max_history = max_history
-        self._values: list[float] = []
+        self._values: deque[float] = deque()
         self._moments = RunningMoments()
 
     def add(self, wait: float) -> None:
         if self.max_history is not None and len(self._values) >= self.max_history:
-            self._moments.remove(self._values.pop(0))
+            self._moments.remove(self._values.popleft())
         self._values.append(wait)
         self._moments.add(wait)
 

@@ -11,7 +11,7 @@ kind these techniques work on.
 from __future__ import annotations
 
 import math
-from collections import Counter, defaultdict
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,7 +64,7 @@ def repetition_stats(trace: Trace, *, window: int = 100) -> RepetitionStats:
     if window < 1:
         raise ValueError("window must be >= 1")
     seen: set[tuple] = set()
-    recent: list[tuple] = []
+    recent: deque[tuple] = deque(maxlen=window)
     repeats = 0
     recent_repeats = 0
     for job in trace:
@@ -75,8 +75,6 @@ def repetition_stats(trace: Trace, *, window: int = 100) -> RepetitionStats:
             recent_repeats += 1
         seen.add(ident)
         recent.append(ident)
-        if len(recent) > window:
-            recent.pop(0)
     n = len(trace)
     return RepetitionStats(
         n_jobs=n,

@@ -24,6 +24,7 @@ Everything is driven by independent child streams of a single seed, so a
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -262,7 +263,9 @@ def generate_trace(
 
     # --- choose (user, app, type) for each job with temporal locality ----
     chosen: list[tuple[str, _App, str | None]] = []
-    recent: list[tuple[str, _App]] = []
+    # maxlen eviction == the old append-then-pop(0) trim, and the RNG
+    # draws only consult len(recent), so the job stream is unchanged.
+    recent: deque[tuple[str, _App]] = deque(maxlen=spec.recency_window)
     user_idx = rng_seq.choice(spec.n_users, size=n, p=user_weights)
     repeat_draw = rng_seq.uniform(size=n)
     for i in range(n):
@@ -273,8 +276,6 @@ def generate_trace(
             pool = apps_by_user[u]
             app = pool[int(rng_seq.integers(0, len(pool)))]
         recent.append((u, app))
-        if len(recent) > spec.recency_window:
-            recent.pop(0)
         jtype: str | None = None
         if spec.job_types:
             if (

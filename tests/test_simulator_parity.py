@@ -1,0 +1,253 @@
+"""Golden parity: the optimized engine must reproduce the reference engine.
+
+The hot-path overhaul (cross-pass estimate caching, O(1) bookkeeping,
+batch-built availability profiles, early-exit scheduling passes) claims
+to change *nothing* about the schedules produced.  These tests replay
+each paper workload — at a reduced job count — through both the
+optimized :class:`repro.scheduler.Simulator` and the naive
+:class:`repro.scheduler.reference.ReferenceSimulator` under FCFS, LWF
+and conservative backfill, and assert the results are **bit-identical**:
+same records in the same order, same start/finish floats, and same
+per-job predicted waits when a wait-time observer rides along.
+
+Property tests at the bottom pin the rebuilt
+:class:`AvailabilityProfile` operations (``rebuild``/``from_releases``,
+fused ``reserve``) to the primitive ``add_release`` +
+``earliest_start`` + ``carve`` semantics on random sequences.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import make_predictor
+from repro.predictors.base import PointEstimator
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy, LWFPolicy
+from repro.scheduler.policies.backfill import AvailabilityProfile
+from repro.scheduler.reference import (
+    ReferenceBackfillPolicy,
+    ReferenceFCFSPolicy,
+    ReferenceLWFPolicy,
+    ReferenceSimulator,
+)
+from repro.scheduler.simulator import Simulator
+from repro.waitpred.predictor import WaitTimePredictor
+from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
+from repro.workloads.job import Job, Trace
+
+#: Reduced replay length per workload; override to widen the net.
+PARITY_JOBS = int(os.environ.get("REPRO_PARITY_JOBS", "300"))
+
+POLICY_PAIRS = {
+    "FCFS": (FCFSPolicy, ReferenceFCFSPolicy),
+    "LWF": (LWFPolicy, ReferenceLWFPolicy),
+    "Backfill": (BackfillPolicy, ReferenceBackfillPolicy),
+}
+
+_TRACES: dict[str, Trace] = {}
+
+
+def parity_trace(workload: str) -> Trace:
+    trace = _TRACES.get(workload)
+    if trace is None:
+        trace = _TRACES[workload] = load_paper_workload(
+            workload, n_jobs=PARITY_JOBS
+        )
+    return trace
+
+
+def assert_identical_results(res_opt, res_ref) -> None:
+    assert len(res_opt.records) == len(res_ref.records)
+    # JobRecord is a frozen dataclass: equality is exact float equality
+    # on submit/start/finish — no tolerances anywhere in this file.
+    assert res_opt.records == res_ref.records
+
+
+@pytest.mark.parametrize("workload", sorted(PAPER_WORKLOADS))
+@pytest.mark.parametrize("policy_name", sorted(POLICY_PAIRS))
+def test_schedule_parity_smith_estimator(workload, policy_name):
+    """Optimized vs. reference replay with a history-growing estimator.
+
+    The Smith predictor's history grows at every completion, exercising
+    the estimate cache's epoch invalidation; identical records prove the
+    cache never serves a stale estimate to a scheduling decision.
+    """
+    trace = parity_trace(workload)
+    opt_cls, ref_cls = POLICY_PAIRS[policy_name]
+
+    sim_opt = Simulator(
+        opt_cls(),
+        PointEstimator(make_predictor("smith", trace)),
+        trace.total_nodes,
+    )
+    res_opt = sim_opt.run(trace)
+
+    sim_ref = ReferenceSimulator(
+        ref_cls(),
+        PointEstimator(make_predictor("smith", trace)),
+        trace.total_nodes,
+    )
+    res_ref = sim_ref.run(trace)
+
+    assert_identical_results(res_opt, res_ref)
+    assert sim_opt.started_times == sim_ref.started_times
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_PAIRS))
+def test_schedule_parity_max_estimator(policy_name):
+    """Same gate under the paper's §3 scheduler setup (user maxima)."""
+    trace = parity_trace("ANL")
+    opt_cls, ref_cls = POLICY_PAIRS[policy_name]
+    res_opt = Simulator(
+        opt_cls(), PointEstimator(make_predictor("max", trace)), trace.total_nodes
+    ).run(trace)
+    res_ref = ReferenceSimulator(
+        ref_cls(), PointEstimator(make_predictor("max", trace)), trace.total_nodes
+    ).run(trace)
+    assert_identical_results(res_opt, res_ref)
+
+
+@pytest.mark.parametrize("workload", sorted(PAPER_WORKLOADS))
+@pytest.mark.parametrize("policy_name", sorted(POLICY_PAIRS))
+def test_predicted_waits_parity(workload, policy_name):
+    """The wait-time observer sees identical state in both engines.
+
+    Scheduler on user maxima, observer predicting waits with the Smith
+    predictor via forward simulation — the paper's Tables 4-9 pipeline.
+    Predicted waits must match float-for-float.
+    """
+    trace = load_paper_workload(workload, n_jobs=min(PARITY_JOBS, 150))
+    opt_cls, ref_cls = POLICY_PAIRS[policy_name]
+
+    def run_engine(engine_cls, policy_cls):
+        sim = engine_cls(
+            policy_cls(),
+            PointEstimator(make_predictor("max", trace)),
+            trace.total_nodes,
+        )
+        observer = WaitTimePredictor(opt_cls(), make_predictor("smith", trace))
+        sim.add_observer(observer)
+        res = sim.run(trace)
+        return res, observer.predicted_waits
+
+    res_opt, waits_opt = run_engine(Simulator, opt_cls)
+    res_ref, waits_ref = run_engine(ReferenceSimulator, ref_cls)
+
+    assert_identical_results(res_opt, res_ref)
+    assert waits_opt == waits_ref
+
+
+# ----------------------------------------------------------------------
+# property parity of the rebuilt profile operations
+# ----------------------------------------------------------------------
+TOTAL_NODES = 16
+
+
+@st.composite
+def release_sets(draw):
+    total = draw(st.integers(2, 32))
+    free = draw(st.integers(0, total))
+    budget = total - free
+    raw = draw(
+        st.lists(st.tuples(st.floats(0.0, 1000.0), st.integers(1, 8)), max_size=8)
+    )
+    releases = []
+    for t, n in raw:
+        n = min(n, budget)
+        if n <= 0:
+            continue
+        budget -= n
+        releases.append((t, n))
+    return total, free, releases
+
+
+@given(ops=release_sets())
+@settings(max_examples=150, deadline=None)
+def test_property_rebuild_matches_add_release(ops):
+    """Batch construction == one add_release per pair, any input order."""
+    total, free, releases = ops
+    reference = AvailabilityProfile(0.0, free, total)
+    for t, n in releases:
+        reference.add_release(t, n)
+    batch = AvailabilityProfile.from_releases(0.0, free, total, releases)
+    assert batch.times == reference.times
+    assert batch.free == reference.free
+    # Rebuild of a dirty profile resets completely.
+    batch.rebuild(0.0, free, releases)
+    assert batch.times == reference.times
+    assert batch.free == reference.free
+
+
+@st.composite
+def reserve_sequences(draw):
+    total, free, releases = draw(release_sets())
+    requests = draw(
+        st.lists(
+            st.tuples(
+                st.integers(1, 8),
+                st.floats(0.0, 400.0),
+                st.one_of(st.none(), st.floats(0.0, 800.0)),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return total, free, releases, requests
+
+
+@given(ops=reserve_sequences())
+@settings(max_examples=150, deadline=None)
+def test_property_reserve_matches_earliest_start_plus_carve(ops):
+    """Fused reserve == earliest_start followed by carve, step for step."""
+    total, free, releases, requests = ops
+    a = AvailabilityProfile.from_releases(0.0, free, total, releases)
+    b = AvailabilityProfile.from_releases(0.0, free, total, releases)
+    for nodes, duration, not_before in requests:
+        if nodes > max(a.free):
+            continue  # would never clear; the policy never issues these
+        start_a = a.earliest_start(nodes, duration, not_before=not_before)
+        a.carve(start_a, duration, nodes)
+        start_b = b.reserve(nodes, duration, not_before=not_before)
+        assert start_b == start_a
+        assert b.times == a.times
+        assert b.free == a.free
+
+
+@st.composite
+def parity_traces(draw, max_jobs=14):
+    n = draw(st.integers(1, max_jobs))
+    jobs = []
+    for i in range(n):
+        jobs.append(
+            Job(
+                job_id=i + 1,
+                submit_time=draw(st.floats(0.0, 1000.0)),
+                run_time=draw(st.floats(0.0, 500.0)),
+                nodes=draw(st.integers(1, TOTAL_NODES)),
+                user=draw(st.sampled_from(["a", "b", "c"])),
+                max_run_time=draw(
+                    st.one_of(st.none(), st.floats(1.0, 2000.0))
+                ),
+            )
+        )
+    return Trace(jobs, total_nodes=TOTAL_NODES)
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICY_PAIRS))
+@given(trace=parity_traces())
+@settings(max_examples=30, deadline=None)
+def test_property_engine_parity_random_traces(policy_name, trace):
+    """Random adversarial traces (zero run times, equal submits, full-width
+    jobs) produce identical schedules in both engines."""
+    opt_cls, ref_cls = POLICY_PAIRS[policy_name]
+    res_opt = Simulator(
+        opt_cls(), PointEstimator(make_predictor("max", trace)), TOTAL_NODES
+    ).run(trace)
+    res_ref = ReferenceSimulator(
+        ref_cls(), PointEstimator(make_predictor("max", trace)), TOTAL_NODES
+    ).run(trace)
+    assert_identical_results(res_opt, res_ref)
