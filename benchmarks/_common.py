@@ -13,6 +13,7 @@ print-out) verify the paper's qualitative findings.
 
 from __future__ import annotations
 
+import json
 import os
 from functools import lru_cache
 from typing import Iterable, Sequence
@@ -28,7 +29,7 @@ from repro.core.paper_reference import (
     WAIT_TIME_TABLES,
 )
 from repro.core.tables import format_table
-from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
+from repro.workloads.archive import load_paper_workload
 from repro.workloads.job import Trace
 
 __all__ = [
@@ -39,6 +40,9 @@ __all__ = [
     "scheduling_rows",
     "print_wait_table",
     "print_scheduling_table",
+    "run_once",
+    "emit_bench_json",
+    "cell_metrics",
     "WORKLOAD_ORDER",
 ]
 
@@ -68,6 +72,58 @@ def wait_time_rows(predictor: str, algorithms: Sequence[str]) -> list[WaitTimeCe
 
 def scheduling_rows(predictor: str) -> list[SchedulingCell]:
     return run_scheduling_table(predictor, workloads=bench_traces())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """One timed invocation through pytest-benchmark.
+
+    Every bench in this suite runs its workload exactly once — replays
+    are deterministic and expensive, so repeat rounds only add wall
+    clock.  This wraps the ``pedantic(rounds=1, iterations=1)``
+    incantation and returns ``fn``'s result.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit_bench_json(
+    payload: dict,
+    *,
+    metrics: dict | None = None,
+    env_var: str = "REPRO_BENCH_JSON",
+) -> None:
+    """Write a bench's measurements as JSON, merged into ``$env_var``.
+
+    When the environment variable names a file, the payload is merged
+    into its existing contents (so the tests of one bench module can
+    each contribute a section); otherwise the JSON goes to stdout.
+    ``metrics`` attaches a registry snapshot (see ``repro.obs``) under
+    the ``"metrics"`` key so perf numbers travel with the counter state
+    that produced them.
+    """
+    payload = dict(payload, bench_jobs=bench_jobs())
+    if metrics is not None:
+        payload["metrics"] = metrics
+    path = os.environ.get(env_var)
+    if path:
+        existing = {}
+        if os.path.exists(path):
+            with open(path) as fh:
+                try:
+                    existing = json.load(fh)
+                except ValueError:
+                    existing = {}
+        existing.update(payload)
+        with open(path, "w") as fh:
+            json.dump(existing, fh, indent=2)
+    else:
+        print(json.dumps(payload))
+
+
+def cell_metrics(cells: Iterable[WaitTimeCell] | Iterable[SchedulingCell]) -> dict:
+    """Merge the registry snapshots attached to experiment cells."""
+    from repro.obs import merge_snapshots
+
+    return merge_snapshots(*(c.metrics for c in cells if c.metrics is not None))
 
 
 def print_wait_table(predictor: str, cells: Iterable[WaitTimeCell]) -> None:

@@ -14,6 +14,10 @@ Reported per cell:
 - events/sec (SUBMIT + FINISH events drained per second),
 - mean pass cost (wall seconds / scheduling passes).
 
+A third test measures the cost of full JSONL event tracing
+(``repro.obs``) against the default disabled mode, asserting schedule
+equality between the two.
+
 Scale follows the suite convention: ``REPRO_BENCH_JOBS`` jobs per
 workload (default 1000, ``0`` = full paper sizes from Table 1).  Set
 ``REPRO_HOTPATH_JSON=/path/out.json`` to also write the measurements as
@@ -29,13 +33,13 @@ the exhaustive equivalence gate lives in ``tests/test_simulator_parity.py``.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from _common import WORKLOAD_ORDER, bench_jobs, bench_trace
+from _common import WORKLOAD_ORDER, bench_jobs, bench_trace, emit_bench_json, run_once
 
 from repro.core.registry import make_predictor
+from repro.obs import Instrumentation, JsonlSink, Tracer, merge_snapshots
 from repro.predictors.base import PointEstimator
 from repro.scheduler.policies import BackfillPolicy, FCFSPolicy, LWFPolicy
 from repro.scheduler.reference import ReferenceBackfillPolicy, ReferenceSimulator
@@ -44,21 +48,27 @@ from repro.scheduler.simulator import Simulator
 POLICIES = (FCFSPolicy, LWFPolicy, BackfillPolicy)
 
 
-def _replay(engine_cls, policy, trace):
+def _replay(engine_cls, policy, trace, instrumentation=None):
     """Run one replay; return (result, wall_seconds, simulator)."""
+    kwargs = {}
+    if instrumentation is not None:
+        kwargs["instrumentation"] = instrumentation
     sim = engine_cls(
-        policy, PointEstimator(make_predictor("max", trace)), trace.total_nodes
+        policy,
+        PointEstimator(make_predictor("max", trace)),
+        trace.total_nodes,
+        **kwargs,
     )
     t0 = time.perf_counter()
     result = sim.run(trace)
     return result, time.perf_counter() - t0, sim
 
 
-def _cell(workload: str, policy_cls) -> dict:
+def _cell(workload: str, policy_cls) -> tuple[dict, dict]:
     trace = bench_trace(workload)
     result, wall, sim = _replay(Simulator, policy_cls(), trace)
     passes = max(sim.schedule_passes, 1)
-    return {
+    cell = {
         "workload": workload,
         "policy": policy_cls.name,
         "jobs": len(result.records),
@@ -67,20 +77,20 @@ def _cell(workload: str, policy_cls) -> dict:
         "passes": sim.schedule_passes,
         "pass_cost_us": wall / passes * 1e6,
     }
+    return cell, sim.metrics_snapshot()
 
 
 def test_hotpath_throughput(benchmark):
     """Events/sec and pass cost across workloads x policies (optimized engine)."""
-    cells = [_cell(w, p) for w in WORKLOAD_ORDER for p in POLICIES]
+    measured = [_cell(w, p) for w in WORKLOAD_ORDER for p in POLICIES]
+    cells = [c for c, _ in measured]
     # pytest-benchmark wants one timed callable; re-time the heaviest
     # cell (full backfill replay of the largest workload measured).
     heaviest = max(
         (c for c in cells if c["policy"] == "Backfill"), key=lambda c: c["wall_s"]
     )
     trace = bench_trace(heaviest["workload"])
-    benchmark.pedantic(
-        lambda: _replay(Simulator, BackfillPolicy(), trace), rounds=1, iterations=1
-    )
+    run_once(benchmark, _replay, Simulator, BackfillPolicy(), trace)
 
     print()
     header = f"{'workload':<8} {'policy':<9} {'jobs':>6} {'wall(s)':>8} {'events/s':>10} {'passes':>7} {'us/pass':>9}"
@@ -91,8 +101,59 @@ def test_hotpath_throughput(benchmark):
             f"{c['wall_s']:>8.3f} {c['events_per_s']:>10.0f} "
             f"{c['passes']:>7} {c['pass_cost_us']:>9.1f}"
         )
-    _emit_json({"throughput": cells})
+    _emit_json(
+        {"throughput": cells},
+        metrics=merge_snapshots(*(snap for _, snap in measured)),
+    )
     assert all(c["jobs"] > 0 for c in cells)
+
+
+def test_hotpath_tracing_overhead(benchmark):
+    """Full JSONL tracing vs. the default disabled mode, backfill replay.
+
+    Not asserted against a budget — tracing is allowed to cost what it
+    costs (it writes a line per decision).  What *is* asserted is that
+    tracing never changes the schedule.  The <2% budget applies to the
+    disabled mode and is checked across commits by comparing the
+    ``test_hotpath_throughput`` numbers against the previous baseline.
+    """
+    rows = []
+    for workload in WORKLOAD_ORDER:
+        trace = bench_trace(workload)
+        res_plain, wall_plain, _ = _replay(Simulator, BackfillPolicy(), trace)
+        with open(os.devnull, "w", encoding="utf-8") as devnull:
+            sink = JsonlSink(devnull)
+            res_traced, wall_traced, _ = _replay(
+                Simulator,
+                BackfillPolicy(),
+                trace,
+                instrumentation=Instrumentation(tracer=Tracer(sink)),
+            )
+        assert res_traced.records == res_plain.records
+        rows.append(
+            {
+                "workload": workload,
+                "jobs": len(res_plain.records),
+                "plain_s": wall_plain,
+                "traced_s": wall_traced,
+                "events_written": sink.events_written,
+                "overhead_pct": 100.0 * (wall_traced / wall_plain - 1.0)
+                if wall_plain > 0
+                else 0.0,
+            }
+        )
+    trace = bench_trace(WORKLOAD_ORDER[0])
+    run_once(benchmark, _replay, Simulator, BackfillPolicy(), trace)
+
+    print()
+    print(f"{'workload':<8} {'jobs':>6} {'plain(s)':>9} {'traced(s)':>10} {'events':>8} {'overhead':>9}")
+    for r in rows:
+        print(
+            f"{r['workload']:<8} {r['jobs']:>6} {r['plain_s']:>9.3f} "
+            f"{r['traced_s']:>10.3f} {r['events_written']:>8} "
+            f"{r['overhead_pct']:>8.1f}%"
+        )
+    _emit_json({"tracing_overhead": rows})
 
 
 def test_hotpath_speedup_vs_reference(benchmark):
@@ -116,9 +177,7 @@ def test_hotpath_speedup_vs_reference(benchmark):
             }
         )
     trace = bench_trace(WORKLOAD_ORDER[0])
-    benchmark.pedantic(
-        lambda: _replay(Simulator, BackfillPolicy(), trace), rounds=1, iterations=1
-    )
+    run_once(benchmark, _replay, Simulator, BackfillPolicy(), trace)
 
     print()
     print(f"{'workload':<8} {'jobs':>6} {'optimized(s)':>13} {'reference(s)':>13} {'speedup':>8}")
@@ -135,19 +194,7 @@ def test_hotpath_speedup_vs_reference(benchmark):
         assert worst >= 1.5, f"backfill replay speedup regressed: {worst:.2f}x"
 
 
-def _emit_json(payload: dict) -> None:
-    payload = dict(payload, bench_jobs=bench_jobs())
-    path = os.environ.get("REPRO_HOTPATH_JSON")
-    if path:
-        existing = {}
-        if os.path.exists(path):
-            with open(path) as fh:
-                try:
-                    existing = json.load(fh)
-                except ValueError:
-                    existing = {}
-        existing.update(payload)
-        with open(path, "w") as fh:
-            json.dump(existing, fh, indent=2)
-    else:
-        print(json.dumps(payload))
+def _emit_json(payload: dict, *, metrics: dict | None = None) -> None:
+    # Kept as a local name so the historical REPRO_HOTPATH_JSON contract
+    # survives the move of the machinery into _common.emit_bench_json.
+    emit_bench_json(payload, metrics=metrics, env_var="REPRO_HOTPATH_JSON")

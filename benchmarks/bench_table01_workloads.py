@@ -7,14 +7,12 @@ request counts at full scale, mean run times) against Table 1.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.paper_reference import TABLE1_WORKLOADS
 from repro.core.tables import format_table
 from repro.workloads.archive import PAPER_WORKLOADS
 from repro.workloads.stats import summarize
 
-from _common import WORKLOAD_ORDER, bench_traces
+from _common import bench_traces
 
 
 def _characterize():

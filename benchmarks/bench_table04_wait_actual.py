@@ -10,14 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from _common import print_wait_table, wait_time_rows
+from _common import cell_metrics, emit_bench_json, print_wait_table, run_once, wait_time_rows
 
 
 def test_table04_wait_prediction_actual(benchmark):
-    cells = benchmark.pedantic(
-        wait_time_rows, args=("actual", ("lwf", "backfill")), rounds=1, iterations=1
-    )
+    cells = run_once(benchmark, wait_time_rows, "actual", ("lwf", "backfill"))
     print_wait_table("actual", cells)
+    emit_bench_json(
+        {"table04": [c.as_row() for c in cells]}, metrics=cell_metrics(cells)
+    )
 
     lwf = {c.workload: c for c in cells if c.algorithm == "LWF"}
     bf = {c.workload: c for c in cells if c.algorithm == "Backfill"}

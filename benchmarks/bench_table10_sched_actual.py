@@ -3,12 +3,15 @@ upper bound of §4)."""
 
 from __future__ import annotations
 
-from _common import print_scheduling_table, scheduling_rows
+from _common import cell_metrics, emit_bench_json, print_scheduling_table, run_once, scheduling_rows
 
 
 def test_table10_scheduling_actual(benchmark):
-    cells = benchmark.pedantic(scheduling_rows, args=("actual",), rounds=1, iterations=1)
+    cells = run_once(benchmark, scheduling_rows, "actual")
     print_scheduling_table("actual", cells)
+    emit_bench_json(
+        {"table10": [c.as_row() for c in cells]}, metrics=cell_metrics(cells)
+    )
 
     lwf = {c.workload: c for c in cells if c.algorithm == "LWF"}
     bf = {c.workload: c for c in cells if c.algorithm == "Backfill"}

@@ -40,7 +40,6 @@ from repro import (
 )
 from repro.scheduler.reservations import Reservation
 from repro.scheduler.simulator import QueuedJob, SystemSnapshot
-from repro.workloads.transform import head
 
 NEED_NODES = 32
 NEED_SECONDS = 2 * 3600.0

@@ -26,8 +26,8 @@ import sys
 import time
 
 from repro.core.registry import make_policy, make_predictor
+from repro.obs import Instrumentation, format_histogram
 from repro.predictors.base import PointEstimator
-from repro.scheduler.policies import BackfillPolicy
 from repro.scheduler.reference import (
     ReferenceBackfillPolicy,
     ReferenceFCFSPolicy,
@@ -54,7 +54,15 @@ def build(args):
         sim = ReferenceSimulator(policy, estimator, trace.total_nodes)
     else:
         policy = make_policy(args.policy)
-        sim = Simulator(policy, estimator, trace.total_nodes)
+        # detail mode: per-pass wall timing into the pass-duration
+        # histogram plus estimate-cache hit counting — this script exists
+        # to look inside the hot path, so pay for the extra visibility.
+        sim = Simulator(
+            policy,
+            estimator,
+            trace.total_nodes,
+            instrumentation=Instrumentation(detail=True),
+        )
     return trace, sim
 
 
@@ -118,6 +126,8 @@ def main(argv=None) -> int:
         "utilization_percent": result.utilization_percent,
         "mean_wait_min": result.mean_wait_minutes,
     }
+    snapshot = sim.metrics_snapshot()
+    stats["metrics"] = snapshot
 
     if args.json:
         print(json.dumps(stats, indent=2))
@@ -134,6 +144,14 @@ def main(argv=None) -> int:
             f"  utilization {stats['utilization_percent']:.1f}% | "
             f"mean wait {stats['mean_wait_min']:.1f} min"
         )
+        pass_hist = snapshot["histograms"].get("sim.pass_duration_seconds")
+        if pass_hist is not None and pass_hist["count"] > 0:
+            print()
+            print(
+                format_histogram(
+                    pass_hist, title="scheduling-pass wall duration (s)"
+                )
+            )
 
     if profiler is not None:
         out = io.StringIO()

@@ -7,6 +7,7 @@ Installed as the ``repro-sched`` console script::
     repro-sched runtime-error
     repro-sched summarize --n-jobs 2000
     repro-sched report --n-jobs 1000 -o EXPERIMENTS.md
+    repro-sched trace --workload ANL --n-jobs 300 -o trace.jsonl --summary
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
 from repro.workloads.stats import summarize
 from repro.workloads.transform import compress_interarrival
 
-__all__ = ["main", "build_parser", "run_config"]
+__all__ = ["main", "build_parser", "run_config", "run_trace"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +83,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="write the EXPERIMENTS.md grid")
     p_rep.add_argument("--n-jobs", type=int, default=1000)
     p_rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    p_tr = sub.add_parser(
+        "trace", help="replay with structured event tracing (repro.obs)"
+    )
+    p_tr.add_argument("--workload", default="ANL", choices=sorted(PAPER_WORKLOADS))
+    p_tr.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["backfill"],
+        choices=POLICY_NAMES,
+        metavar="A",
+    )
+    p_tr.add_argument("--predictor", default="max", choices=PREDICTOR_NAMES)
+    p_tr.add_argument("--n-jobs", type=int, default=300,
+                      help="jobs to replay (0 = full paper size)")
+    p_tr.add_argument("--seed", type=int, default=None)
+    p_tr.add_argument("--compress", type=float, default=1.0,
+                      help="divide interarrival gaps by this factor")
+    p_tr.add_argument("-o", "--out", default="trace.jsonl",
+                      help="JSONL event file to write")
+    p_tr.add_argument("--detail", action="store_true",
+                      help="also emit per-estimate cache_hit/cache_miss events")
+    p_tr.add_argument("--summary", action="store_true",
+                      help="print a per-policy event-type breakdown")
+    p_tr.add_argument("--check", action="store_true",
+                      help="validate the written trace against the event schema "
+                      "and the started/finished counts against the job count")
+    p_tr.add_argument("--metrics", action="store_true",
+                      help="print the merged metrics registry as JSON")
 
     p_ga = sub.add_parser("ga-search", help="genetic template search (§2.1)")
     p_ga.add_argument("--workload", default="ANL", choices=sorted(PAPER_WORKLOADS))
@@ -144,6 +174,95 @@ def run_config(config: ExperimentConfig) -> list[dict[str, object]]:
     return rows
 
 
+def run_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand: replay under a tracer, then inspect."""
+    import json
+
+    from repro.core.registry import make_policy, make_predictor
+    from repro.obs import (
+        Instrumentation,
+        JsonlSink,
+        Tracer,
+        TraceSchemaError,
+        merge_snapshots,
+        read_jsonl,
+        summarize_events,
+        validate_events,
+    )
+    from repro.predictors.base import PointEstimator
+    from repro.scheduler.simulator import Simulator
+
+    wl = load_paper_workload(
+        args.workload, n_jobs=None if args.n_jobs <= 0 else args.n_jobs,
+        seed=args.seed,
+    )
+    if args.compress != 1.0:
+        wl = compress_interarrival(wl, args.compress)
+
+    job_counts: dict[str, int] = {}
+    snapshots = []
+    with JsonlSink(args.out) as sink:
+        tracer = Tracer(sink)
+        for algorithm in args.algorithms:
+            policy = make_policy(algorithm)
+            estimator = PointEstimator(make_predictor(args.predictor, wl))
+            sim = Simulator(
+                policy,
+                estimator,
+                wl.total_nodes,
+                instrumentation=Instrumentation(tracer=tracer, detail=args.detail),
+            )
+            result = sim.run(wl)
+            job_counts[policy.name] = job_counts.get(policy.name, 0) + len(result)
+            snapshots.append(sim.metrics_snapshot())
+            print(
+                f"  {policy.name}: {len(result)} jobs replayed, "
+                f"{sink.events_written} events so far",
+                file=sys.stderr,
+            )
+    print(f"wrote {args.out} ({sink.events_written} events)", file=sys.stderr)
+
+    if args.check:
+        try:
+            events = read_jsonl(args.out)
+            n = validate_events(events)
+        except TraceSchemaError as exc:
+            print(f"trace check FAILED: {exc}", file=sys.stderr)
+            return 1
+        for policy_name, jobs in job_counts.items():
+            for etype in ("job_started", "job_finished"):
+                got = sum(
+                    1
+                    for e in events
+                    if e["type"] == etype and e.get("policy") == policy_name
+                )
+                if got != jobs:
+                    print(
+                        f"trace check FAILED: {policy_name} has {got} "
+                        f"{etype} events for {jobs} jobs",
+                        file=sys.stderr,
+                    )
+                    return 1
+        print(
+            f"trace check OK: {n} events schema-valid, started/finished "
+            f"counts match job counts",
+            file=sys.stderr,
+        )
+    elif args.summary:
+        events = read_jsonl(args.out)
+
+    if args.summary:
+        print(
+            format_table(
+                summarize_events(events),
+                title=f"trace summary ({args.workload}, {args.predictor})",
+            )
+        )
+    if args.metrics:
+        print(json.dumps(merge_snapshots(*snapshots), indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "summarize":
@@ -157,6 +276,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         ]
         print(format_table(rows, title="Workload characteristics (Table 1)"))
         return 0
+    if args.command == "trace":
+        return run_trace(args)
     if args.command == "ga-search":
         from repro.predictors.ga import GAConfig, TemplateSearch
         from repro.predictors.replay import replay_prediction_error

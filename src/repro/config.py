@@ -7,8 +7,7 @@ can be specified declaratively.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Sequence
+from dataclasses import asdict, dataclass
 
 from repro.core.registry import POLICY_NAMES, PREDICTOR_NAMES
 from repro.workloads.archive import PAPER_WORKLOADS

@@ -17,7 +17,7 @@ percentage-of-mean-run-time numbers) via the online replay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.registry import make_policy, make_predictor
@@ -54,6 +54,10 @@ class WaitTimeCell:
     percent_of_mean_wait: float
     mean_wait_minutes: float
     n_jobs: int
+    #: Registry snapshot of the replay that produced the cell (see
+    #: repro.obs); excluded from equality so result comparisons stay
+    #: about the science, not the bookkeeping.
+    metrics: dict | None = field(default=None, compare=False, repr=False)
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -74,6 +78,8 @@ class SchedulingCell:
     utilization_percent: float
     mean_wait_minutes: float
     n_jobs: int
+    #: Registry snapshot of the replay that produced the cell.
+    metrics: dict | None = field(default=None, compare=False, repr=False)
 
     def as_row(self) -> dict[str, object]:
         return {
@@ -150,6 +156,7 @@ def run_wait_time_experiment(
         percent_of_mean_wait=report.percent_of_mean_wait,
         mean_wait_minutes=report.mean_wait_minutes,
         n_jobs=report.n_jobs,
+        metrics=sim.metrics_snapshot(),
     )
     return cell, report, result
 
@@ -176,6 +183,7 @@ def run_scheduling_experiment(
         utilization_percent=result.utilization_percent,
         mean_wait_minutes=result.mean_wait_minutes,
         n_jobs=len(result),
+        metrics=sim.metrics_snapshot(),
     )
     return cell, result
 

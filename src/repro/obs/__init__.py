@@ -1,0 +1,68 @@
+"""Observability: metrics registry, structured event tracing, profiling.
+
+The subsystem is self-contained (stdlib only) and wired through the
+replay engines, the predictor adapter, and the state-based wait
+predictor.  See the "Observability" section of ``docs/architecture.md``
+for the event taxonomy, metric names and overhead budget, and
+``repro-sched trace`` for the user-facing entry point.
+"""
+
+from repro.obs.instrument import Instrumentation
+from repro.obs.metrics import (
+    BACKFILL_DEPTH_BUCKETS,
+    PASS_DURATION_BUCKETS,
+    WAIT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_histogram,
+    histogram_quantile,
+    merge_snapshots,
+)
+from repro.obs.schema import (
+    EVENT_TYPES,
+    TraceSchemaError,
+    read_jsonl,
+    summarize_events,
+    validate_event,
+    validate_events,
+    validate_jsonl,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    EventSink,
+    JsonlSink,
+    ListSink,
+    NullSink,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Instrumentation",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "merge_snapshots",
+    "histogram_quantile",
+    "format_histogram",
+    "WAIT_TIME_BUCKETS",
+    "PASS_DURATION_BUCKETS",
+    "BACKFILL_DEPTH_BUCKETS",
+    "Tracer",
+    "Span",
+    "EventSink",
+    "NullSink",
+    "ListSink",
+    "JsonlSink",
+    "NULL_TRACER",
+    "EVENT_TYPES",
+    "TraceSchemaError",
+    "validate_event",
+    "validate_events",
+    "validate_jsonl",
+    "read_jsonl",
+    "summarize_events",
+]

@@ -1,0 +1,55 @@
+"""The bundle the engines are instrumented with.
+
+:class:`Instrumentation` pairs a :class:`~repro.obs.metrics.MetricsRegistry`
+with a :class:`~repro.obs.trace.Tracer` and fixes the two cost knobs:
+
+- ``detail`` — count estimate-cache *hits* and (when the sink is
+  enabled) emit per-estimate ``cache_hit``/``cache_miss`` events.  Off
+  by default even when tracing: hit counting sits on the single hottest
+  call in the engine, and full traces of it are enormous.
+- ``time_passes`` — time every scheduling pass into the
+  ``sim.pass_duration_seconds`` histogram (and emit ``span`` events
+  when the sink is enabled).  Defaults to on exactly when the tracer is
+  enabled or ``detail`` was requested, so plain replays pay nothing.
+
+The default ``Instrumentation()`` — fresh registry, shared null tracer,
+both knobs off — is what every :class:`~repro.scheduler.Simulator` gets
+when the caller passes nothing; its overhead budget (<2% on the hot-path
+bench) is what lets the counters stay on unconditionally.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+__all__ = ["Instrumentation"]
+
+
+class Instrumentation:
+    """Metrics registry + tracer + cost knobs, handed to an engine."""
+
+    __slots__ = ("registry", "tracer", "detail", "time_passes")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        *,
+        detail: bool = False,
+        time_passes: bool | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.detail = bool(detail)
+        self.time_passes = (
+            (self.tracer.enabled or self.detail)
+            if time_passes is None
+            else bool(time_passes)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Instrumentation(tracing={self.tracer.enabled}, "
+            f"detail={self.detail}, time_passes={self.time_passes})"
+        )

@@ -1,0 +1,286 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` names and owns a flat set of metrics.  The
+design optimizes for the replay engine's hot path:
+
+- :class:`Counter` and :class:`Gauge` hold their state in a single slot
+  attribute, so hot loops may increment with plain attribute arithmetic
+  (``counter.value += 1``) — the cheapest instrumented increment Python
+  offers — while everything else uses the readable :meth:`Counter.inc`.
+- :class:`Histogram` uses *fixed* upper bounds chosen at construction,
+  so one ``bisect`` per observation replaces any dynamic re-bucketing.
+- :meth:`MetricsRegistry.snapshot` returns plain JSON-serializable
+  dicts, and :func:`merge_snapshots` folds many snapshots (e.g. one per
+  simulator) into one, which is how experiment tables and benchmarks
+  aggregate across replays.
+
+Bucket presets for the replay engine's own histograms live here too so
+every engine instance bins identically and snapshots always merge.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "histogram_quantile",
+    "format_histogram",
+    "WAIT_TIME_BUCKETS",
+    "PASS_DURATION_BUCKETS",
+    "BACKFILL_DEPTH_BUCKETS",
+]
+
+#: Job wait times in seconds: sub-minute through two days.
+WAIT_TIME_BUCKETS: tuple[float, ...] = (
+    30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+    7200.0, 14400.0, 28800.0, 86400.0, 172800.0,
+)
+
+#: Scheduling-pass wall durations in seconds: ~1us through 1s.
+PASS_DURATION_BUCKETS: tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4,
+    5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 5e-2, 1e-1, 1.0,
+)
+
+#: Queue positions a backfilled job jumped over (0 = in-order start).
+BACKFILL_DEPTH_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, category count, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram over strictly increasing upper bounds.
+
+    Bucket ``i`` counts observations ``v`` with
+    ``bounds[i-1] < v <= bounds[i]`` (upper-inclusive); a final overflow
+    bucket counts everything above the last bound.  ``counts`` therefore
+    has ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        clean = tuple(float(b) for b in bounds)
+        if not clean:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(a >= b for a, b in zip(clean, clean[1:])):
+            raise ValueError(f"bounds must be strictly increasing: {clean}")
+        self.name = name
+        self.bounds = clean
+        self.counts = [0] * (len(clean) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero every bucket — for folds that rebuild from source data."""
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """A named, flat collection of counters, gauges, and histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same object, so independent components
+    (simulator, estimator adapter, observers) can share a registry
+    without coordination.  Re-registering a name as a different metric
+    type — or a histogram with different bounds — raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_make(self, name: str, kind, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_make(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_make(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Histogram:
+        hist = self._get_or_make(name, Histogram, lambda: Histogram(name, bounds))
+        if hist.bounds != tuple(float(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{hist.bounds}, not {tuple(bounds)}"
+            )
+        return hist
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Plain-dict (JSON-serializable) copy of every metric's state."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+def merge_snapshots(*snapshots: Mapping) -> dict:
+    """Fold snapshots into one: counters and histograms add, gauges keep
+    the last seen value.  Histograms under the same name must share
+    bounds (they do when both sides used the presets above)."""
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = value
+        for name, hist in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+                continue
+            if merged["bounds"] != list(hist["bounds"]):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], hist["counts"])
+            ]
+            merged["sum"] += hist["sum"]
+            merged["count"] += hist["count"]
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def histogram_quantile(hist: Mapping, q: float) -> float | None:
+    """Approximate the ``q``-quantile of a histogram snapshot entry.
+
+    Linear interpolation inside the winning bucket (the overflow bucket
+    reports the last finite bound).  ``None`` when the histogram is
+    empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = hist["count"]
+    if count == 0:
+        return None
+    bounds = hist["bounds"]
+    counts = hist["counts"]
+    target = q * count
+    cumulative = 0
+    for i, c in enumerate(counts):
+        if cumulative + c >= target and c > 0:
+            hi = bounds[i] if i < len(bounds) else bounds[-1]
+            lo = bounds[i - 1] if 0 < i <= len(bounds) else 0.0
+            fraction = (target - cumulative) / c
+            return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+        cumulative += c
+    return bounds[-1]
+
+
+def format_histogram(hist: Mapping, *, title: str | None = None, width: int = 40) -> str:
+    """Render a histogram snapshot entry as an aligned text bar chart.
+
+    Empty buckets are omitted; a summary line reports count, mean and
+    approximate p50/p90/p99.  Works on the dict form produced by
+    :meth:`MetricsRegistry.snapshot` (pass ``snapshot()["histograms"][name]``).
+    """
+    bounds = hist["bounds"]
+    counts = hist["counts"]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if hist["count"] == 0:
+        lines.append("  (no observations)")
+        return "\n".join(lines)
+    peak = max(counts)
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        label = f"<= {bounds[i]:g}" if i < len(bounds) else f" > {bounds[-1]:g}"
+        bar = "#" * max(1, round(width * c / peak))
+        lines.append(f"  {label:>12}  {c:>8}  {bar}")
+    mean = hist["sum"] / hist["count"]
+    quantiles = ", ".join(
+        f"p{int(q * 100)}={histogram_quantile(hist, q):.3g}"
+        for q in (0.5, 0.9, 0.99)
+    )
+    lines.append(f"  count={hist['count']} mean={mean:.3g} {quantiles}")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""The trace event taxonomy and its validator.
+
+Every event the engines emit is a flat JSON object.  The schema is
+deliberately hand-rolled (no external dependency): a closed set of
+event types, per-type required fields, and field-type checks.  The CI
+trace-smoke job replays a workload and validates every emitted line
+against this module; ``repro-sched trace --check`` does the same
+locally.
+
+Event taxonomy
+--------------
+==================== ======================================================
+``job_submitted``     job entered the queue
+``job_started``       job began executing (``wait_s``, ``depth``)
+``job_backfilled``    the start jumped ``depth`` earlier arrivals (extra
+                      event alongside ``job_started`` when ``depth > 0``)
+``job_finished``      job released its nodes (``run_s``)
+``reservation_placed``  a future start was promised — a backfill profile
+                      reservation (``job_id``) or an advance reservation
+                      (``res_id``)
+``reservation_shifted`` a promised start moved (replanning, or an advance
+                      reservation activating late)
+``replan_triggered``  the cross-pass estimate cache flushed (the
+                      estimator's history epoch advanced)
+``cache_hit``         queued-job estimate served from the cache (detail
+                      mode only)
+``cache_miss``        queued-job estimate required a predictor call
+                      (detail mode only)
+``wait_predicted``    an observer predicted a job's wait at submission
+``span``              a timed block (``name``, ``duration_s``, optional
+                      ``parent``)
+==================== ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+__all__ = [
+    "EVENT_TYPES",
+    "TraceSchemaError",
+    "validate_event",
+    "validate_events",
+    "validate_jsonl",
+    "read_jsonl",
+    "summarize_events",
+]
+
+#: type -> fields that must be present (beyond ``type`` and ``wall_time``).
+_REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
+    "job_submitted": ("job_id", "sim_time"),
+    "job_started": ("job_id", "sim_time", "wait_s"),
+    "job_backfilled": ("job_id", "sim_time", "depth"),
+    "job_finished": ("job_id", "sim_time"),
+    "reservation_placed": ("sim_time", "start_s"),
+    "reservation_shifted": ("sim_time", "start_s"),
+    "replan_triggered": ("sim_time", "cause"),
+    "cache_hit": ("job_id", "sim_time"),
+    "cache_miss": ("job_id", "sim_time"),
+    "wait_predicted": ("job_id", "sim_time", "predicted_wait_s"),
+    "span": ("name", "duration_s"),
+}
+
+EVENT_TYPES = frozenset(_REQUIRED_FIELDS)
+
+#: Fields that, when present, must be numbers.
+_NUMERIC_FIELDS = (
+    "wall_time", "sim_time", "wait_s", "run_s", "duration_s",
+    "start_s", "previous_start_s", "scheduled_start_s", "predicted_wait_s",
+)
+#: Fields that, when present, must be ints.
+_INT_FIELDS = ("job_id", "depth", "nodes", "res_id")
+#: Fields that, when present, must be strings.
+_STR_FIELDS = ("policy", "cause", "name", "parent", "error")
+
+
+class TraceSchemaError(ValueError):
+    """An event violating the trace schema."""
+
+
+def validate_event(event: object) -> None:
+    """Raise :class:`TraceSchemaError` unless ``event`` fits the schema."""
+    if not isinstance(event, dict):
+        raise TraceSchemaError(f"event must be an object, got {type(event).__name__}")
+    etype = event.get("type")
+    if etype not in EVENT_TYPES:
+        raise TraceSchemaError(f"unknown event type {etype!r}")
+    if "wall_time" not in event:
+        raise TraceSchemaError(f"{etype}: missing wall_time")
+    for field in _REQUIRED_FIELDS[etype]:
+        if field not in event:
+            raise TraceSchemaError(f"{etype}: missing required field {field!r}")
+    if etype.startswith("reservation_") and (
+        "job_id" not in event and "res_id" not in event
+    ):
+        raise TraceSchemaError(f"{etype}: needs job_id or res_id")
+    for field in _NUMERIC_FIELDS:
+        value = event.get(field)
+        if value is not None and not isinstance(value, (int, float)):
+            raise TraceSchemaError(f"{etype}: field {field!r} must be a number")
+    for field in _INT_FIELDS:
+        value = event.get(field)
+        if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
+            raise TraceSchemaError(f"{etype}: field {field!r} must be an int")
+    for field in _STR_FIELDS:
+        value = event.get(field)
+        if value is not None and not isinstance(value, str):
+            raise TraceSchemaError(f"{etype}: field {field!r} must be a string")
+
+
+def validate_events(events: Iterable[dict]) -> int:
+    """Validate each event; return how many were checked."""
+    n = 0
+    for event in events:
+        validate_event(event)
+        n += 1
+    return n
+
+
+def read_jsonl(source: str | IO[str]) -> list[dict]:
+    """Parse a JSONL trace file (path or open file) into event dicts."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    events = []
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError as exc:
+            raise TraceSchemaError(f"line {i}: not valid JSON ({exc})") from None
+    return events
+
+
+def validate_jsonl(source: str | IO[str]) -> int:
+    """Round-trip a JSONL trace and validate every event; return the count."""
+    return validate_events(read_jsonl(source))
+
+
+def summarize_events(events: Iterable[dict]) -> list[dict]:
+    """Per-(policy, type) event counts — the ``trace --summary`` breakdown.
+
+    Events with no ``policy`` field (pure spans, observer events emitted
+    outside a policy context) group under ``"-"``.  Rows come back
+    sorted by policy then type, ready for table formatting.
+    """
+    counts: dict[tuple[str, str], int] = {}
+    for event in events:
+        key = (event.get("policy") or "-", event.get("type", "?"))
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        {"Policy": policy, "Event": etype, "Count": count}
+        for (policy, etype), count in sorted(counts.items())
+    ]

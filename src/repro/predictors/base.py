@@ -138,6 +138,14 @@ class PointEstimator:
         self._completed_count = 0
         self._epoch = 0
         self._volatile = volatile
+        # Fallback-chain tallies, kept as plain ints (this sits on the
+        # replay hot path) and exported via obs_stats() for the metrics
+        # snapshot.
+        self.predict_calls = 0
+        self.predicted = 0
+        self.fallback_max = 0
+        self.fallback_mean = 0
+        self.fallback_default = 0
         # Submit/start hooks are no-ops on the RuntimePredictor base; only
         # bump the epoch for predictors that actually override them, so a
         # start does not needlessly flush the simulator's estimate cache.
@@ -187,22 +195,38 @@ class PointEstimator:
         return self._epoch
 
     def predict(self, job: Job, elapsed: float, now: float) -> float:
+        self.predict_calls += 1
         pred = self.predictor.predict(job, elapsed, now)
         if pred is not None:
             est = pred.estimate
+            self.predicted += 1
         elif self.fall_back_to_max and job.max_run_time is not None:
             est = job.max_run_time
+            self.fallback_max += 1
         elif self._completed_count > 0:
             est = self._completed_sum / self._completed_count
             self._mean_used = True
+            self.fallback_mean += 1
         else:
             # The default gives way to the running mean at the first
             # completion, so it counts as mean consumption too.
             est = self.default
             self._mean_used = True
+            self.fallback_default += 1
         if self.cap_at_max and job.max_run_time is not None:
             est = min(est, job.max_run_time)
         return max(est, elapsed)
+
+    def obs_stats(self) -> dict[str, int]:
+        """Fallback-chain counters, keyed for the metrics snapshot."""
+        return {
+            "predict_calls": self.predict_calls,
+            "predicted": self.predicted,
+            "fallback_max": self.fallback_max,
+            "fallback_mean": self.fallback_mean,
+            "fallback_default": self.fallback_default,
+            "history_epoch_bumps": self._epoch,
+        }
 
     @property
     def elapsed_invariant(self) -> bool:

@@ -26,12 +26,9 @@ workload as its fitness target.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
-
 import numpy as np
 
 from repro.predictors.base import PointEstimator, RuntimePredictor
-from repro.predictors.simple import MaxRuntimePredictor
 from repro.scheduler.simulator import Simulator
 from repro.workloads.job import Job, Trace
 

@@ -14,7 +14,7 @@ template; jobs sharing a key are similar.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.workloads.fields import CHARACTERISTICS, TEMPLATE_CHARACTERISTICS
 from repro.workloads.job import Job

@@ -309,6 +309,9 @@ class BackfillPolicy(Policy):
         # Scratch profile reused across passes (never carries state
         # between calls — select() rebuilds it from the view each time).
         self._profile: AvailabilityProfile | None = None
+        # job_id -> last reserved start, maintained only while tracing so
+        # reservation events report moves rather than every replan.
+        self._last_reserved: dict[int, float] = {}
 
     def _seeded_profile(self, view) -> AvailabilityProfile:
         """The pass's availability profile, rebuilt in the scratch object."""
@@ -337,6 +340,9 @@ class BackfillPolicy(Policy):
         queued = list(view.queued)  # arrival order
         if not queued:
             return []
+        tracer = getattr(view, "tracer", None)
+        if tracer is not None:
+            return self._select_traced(view, queued, tracer)
         # Suffix minima of node requests: suffix_min[k] is the smallest
         # request among queued[k:], the early-exit threshold below.
         n = len(queued)
@@ -370,4 +376,54 @@ class BackfillPolicy(Policy):
             if start <= now:
                 started.append(qj)
                 free_now -= qj.job.nodes
+        return started
+
+    def _select_traced(self, view, queued, tracer) -> Sequence:
+        """The tracing walk: same selections, full reservation event stream.
+
+        The early exits in :meth:`select` only skip reservations that are
+        discarded at the end of the pass (jobs that cannot start *now*),
+        so dropping them here cannot change the selected set — it merely
+        makes every queued job's reservation observable.  Events report
+        the reservation *life-cycle*: ``reservation_placed`` the first
+        time a job gets a future start, ``reservation_shifted`` whenever
+        a replan moves it.
+        """
+        now = view.now
+        min_duration = self.min_duration
+        profile = self._seeded_profile(view)
+        last = self._last_reserved
+        started = []
+        for qj in queued:
+            duration = view.estimate(qj)
+            if duration < min_duration:
+                duration = min_duration
+            start = profile.reserve(qj.job.nodes, duration)
+            if start <= now:
+                started.append(qj)
+                last.pop(qj.job_id, None)
+                continue
+            prev = last.get(qj.job_id)
+            if prev is None:
+                tracer.emit(
+                    "reservation_placed",
+                    sim_time=now,
+                    job_id=qj.job_id,
+                    policy=self.name,
+                    cause="backfill_replan",
+                    start_s=start,
+                    nodes=qj.job.nodes,
+                )
+            elif start != prev:
+                tracer.emit(
+                    "reservation_shifted",
+                    sim_time=now,
+                    job_id=qj.job_id,
+                    policy=self.name,
+                    cause="backfill_replan",
+                    start_s=start,
+                    previous_start_s=prev,
+                    nodes=qj.job.nodes,
+                )
+            last[qj.job_id] = start
         return started

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import heapq
 
+from repro.obs import Instrumentation
 from repro.scheduler.cluster import NodePool
 from repro.scheduler.events import FINISH, SUBMIT
 from repro.scheduler.metrics import JobRecord, ScheduleResult
@@ -174,7 +175,12 @@ class ReferenceSimulator:
     """
 
     def __init__(
-        self, policy: Policy, estimator: RuntimeEstimator, total_nodes: int
+        self,
+        policy: Policy,
+        estimator: RuntimeEstimator,
+        total_nodes: int,
+        *,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.policy = policy
         self.estimator = estimator
@@ -187,8 +193,30 @@ class ReferenceSimulator:
         self._records: list[JobRecord] = []
         self._started: dict[int, float] = {}
         self._observers: list[object] = []
-        self.events_processed = 0
-        self.schedule_passes = 0
+        # Same registry metric names as the optimized engine, so counter
+        # parity can be asserted snapshot-to-snapshot.
+        obs = instrumentation if instrumentation is not None else Instrumentation()
+        self.obs = obs
+        reg = obs.registry
+        self._c_events = reg.counter("sim.events_processed")
+        self._c_passes = reg.counter("sim.schedule_passes")
+        self._c_submitted = reg.counter("sim.jobs_submitted")
+        self._c_started = reg.counter("sim.jobs_started")
+        self._c_finished = reg.counter("sim.jobs_finished")
+
+    @property
+    def events_processed(self) -> int:
+        """Backward-compat alias for the ``sim.events_processed`` counter."""
+        return self._c_events.value
+
+    @property
+    def schedule_passes(self) -> int:
+        """Backward-compat alias for the ``sim.schedule_passes`` counter."""
+        return self._c_passes.value
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-serializable snapshot of this run's registry."""
+        return self.obs.registry.snapshot()
 
     def add_observer(self, observer: object) -> None:
         self._observers.append(observer)
@@ -213,7 +241,7 @@ class ReferenceSimulator:
             self.now = max(self.now, t)
             while heap and heap[0][0] == t:
                 _, kind, _, payload = heapq.heappop(heap)
-                self.events_processed += 1
+                self._c_events.value += 1
                 if kind == FINISH:
                     self._handle_finish(payload)
                 else:
@@ -231,6 +259,7 @@ class ReferenceSimulator:
     def _handle_submit(self, job: Job) -> None:
         qj = QueuedJob(job)
         self.queued.append(qj)
+        self._c_submitted.value += 1
         self._notify_estimator("on_submit", job)
         view = ReferenceView(self)
         for obs in self._observers:
@@ -250,6 +279,7 @@ class ReferenceSimulator:
                 nodes=rj.job.nodes,
             )
         )
+        self._c_finished.value += 1
         self._notify_estimator("on_finish", rj.job)
         view = ReferenceView(self)
         for obs in self._observers:
@@ -260,7 +290,7 @@ class ReferenceSimulator:
     def _schedule_pass(self) -> None:
         if not self.queued:
             return
-        self.schedule_passes += 1
+        self._c_passes.value += 1
         view = ReferenceView(self)
         for qj in list(self.policy.select(view)):
             self._start(qj)
@@ -272,6 +302,7 @@ class ReferenceSimulator:
         self.running.append(rj)
         self._started[qj.job_id] = self.now
         self._push(self.now + max(qj.job.run_time, 0.0), FINISH, rj)
+        self._c_started.value += 1
         self._notify_estimator("on_start", qj.job)
         view = ReferenceView(self)
         for obs in self._observers:

@@ -31,6 +31,18 @@ whole queue at every event.  Estimators without an epoch get the
 historical behaviour: estimates are memoized per pass only.  Running-job
 ``remaining`` estimates condition on elapsed time and are always
 per-pass.
+
+Instrumentation
+---------------
+Every simulator carries an :class:`repro.obs.Instrumentation`, but the
+replay loop itself stays observability-free: job life-cycle counts and
+the wait-time histogram are *derived* from state the engine keeps anyway
+(``_started``, ``_records``, ``running``) when :meth:`metrics_snapshot`
+folds them into the registry, and the traced variants of the event
+handlers/scheduling pass are bound over the plain ones in ``__init__``
+only when tracing, detail mode or pass timing is requested.  See the
+Observability section of ``docs/architecture.md`` for the event taxonomy
+and the overhead budget.
 """
 
 from __future__ import annotations
@@ -38,6 +50,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
+from repro.obs import (
+    BACKFILL_DEPTH_BUCKETS,
+    Instrumentation,
+    PASS_DURATION_BUCKETS,
+    WAIT_TIME_BUCKETS,
+)
 from repro.scheduler.cluster import NodePool
 from repro.scheduler.events import FINISH, RES_END, RES_START, SUBMIT, EventQueue
 from repro.scheduler.metrics import JobRecord, ScheduleResult
@@ -248,11 +266,23 @@ class SchedulerView:
         out.sort(key=lambda p: (p.effective_start, p.reservation.res_id))
         return tuple(out)
 
+    @property
+    def tracer(self):
+        """The simulator's tracer when tracing is on, else ``None``.
+
+        Policies use this to emit decision events (backfill's
+        reservation placed/shifted stream) without paying anything when
+        tracing is disabled; reference views simply lack the attribute.
+        """
+        sim = self._sim
+        return sim._tracer if sim._trace_enabled else None
+
     def estimate(self, qj: QueuedJob) -> float:
         """Estimated total run time of a queued job (>= tiny epsilon)."""
         est = self._cache.get(qj.job_id)
         if est is None:
             sim = self._sim
+            sim._n_est_misses += 1
             est = sim.estimator.predict(qj.job, 0.0, sim.now)
             est = float(est)
             if est < _EPS:
@@ -290,6 +320,43 @@ class SchedulerView:
         self._remaining.clear()
 
 
+class InstrumentedSchedulerView(SchedulerView):
+    """A :class:`SchedulerView` that also counts estimate-cache hits and,
+    when tracing, emits per-estimate ``cache_hit``/``cache_miss`` events.
+
+    Selected by the simulator only in detail mode
+    (:class:`repro.obs.Instrumentation` ``detail=True``) so the default
+    hot path — the plain view above — stays byte-for-byte unchanged.
+    """
+
+    def estimate(self, qj: QueuedJob) -> float:
+        sim = self._sim
+        est = self._cache.get(qj.job_id)
+        if est is not None:
+            sim._n_est_hits += 1
+            if sim._trace_enabled:
+                sim._tracer.emit(
+                    "cache_hit",
+                    sim_time=sim.now,
+                    job_id=qj.job_id,
+                    policy=sim._policy_name,
+                )
+            return est
+        sim._n_est_misses += 1
+        est = float(sim.estimator.predict(qj.job, 0.0, sim.now))
+        if est < _EPS:
+            est = _EPS
+        self._cache[qj.job_id] = est
+        if sim._trace_enabled:
+            sim._tracer.emit(
+                "cache_miss",
+                sim_time=sim.now,
+                job_id=qj.job_id,
+                policy=sim._policy_name,
+            )
+        return est
+
+
 @dataclass(frozen=True)
 class SystemSnapshot:
     """The scheduler state at one instant, as wait-time prediction needs it."""
@@ -308,6 +375,8 @@ class Simulator:
         policy: Policy,
         estimator: RuntimeEstimator,
         total_nodes: int,
+        *,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.policy = policy
         self.estimator = estimator
@@ -328,9 +397,97 @@ class Simulator:
         self._est_cache: dict[int, float] = {}
         self._est_cache_epoch: object = object()  # != any int: first sync clears
         self._est_invariant = bool(getattr(estimator, "elapsed_invariant", False))
-        #: Lightweight instrumentation for the hot-path benchmarks.
-        self.events_processed = 0
-        self.schedule_passes = 0
+        #: Observability wiring (see repro.obs).  The hot loops bump plain
+        #: int attributes and append raw samples; metrics_snapshot() folds
+        #: them into the registry lazily, so the default replay pays only
+        #: integer increments and list appends.  Pass timing, hit counting,
+        #: depth tracking and event emission are gated by the knobs below.
+        obs = instrumentation if instrumentation is not None else Instrumentation()
+        self.obs = obs
+        self._tracer = obs.tracer
+        self._trace_enabled = obs.tracer.enabled
+        self._time_passes = obs.time_passes
+        self._view_cls = InstrumentedSchedulerView if obs.detail else SchedulerView
+        self._policy_name = policy.name
+        self._n_events = 0
+        self._n_passes = 0
+        self._n_backfilled = 0
+        self._n_est_hits = 0
+        self._n_est_misses = 0
+        self._n_est_flushes = 0
+        self._depth_samples: list[int] = []
+        self._depth_folded = 0
+        #: Backfill-depth tracking walks the queue once per selecting pass;
+        #: the default mode skips it to stay inside the overhead budget.
+        self._track_depth = obs.detail or obs.tracer.enabled
+        if self._trace_enabled:
+            # Shadow the plain handlers with the event-emitting variants;
+            # the untraced replay keeps handlers with zero obs code.
+            self._handle_submit = self._handle_submit_traced
+            self._handle_finish = self._handle_finish_traced
+        if self._time_passes:
+            self._h_pass = obs.registry.histogram(
+                "sim.pass_duration_seconds", PASS_DURATION_BUCKETS
+            )
+            # Shadow the plain pass with the span-wrapped variant; the
+            # default path keeps the unwrapped method (zero extra frames).
+            self._schedule_pass = self._schedule_pass_timed
+
+    @property
+    def events_processed(self) -> int:
+        """Events drained so far (back-compat alias of ``sim.events_processed``)."""
+        return self._n_events
+
+    @property
+    def schedule_passes(self) -> int:
+        """Policy invocations so far (back-compat alias of ``sim.schedule_passes``)."""
+        return self._n_passes
+
+    def metrics_snapshot(self) -> dict:
+        """Fold the hot-path tallies into the registry and snapshot it.
+
+        The engine counts with plain int attributes and collects raw
+        wait/depth samples in lists — folding into registry objects
+        happens here, not per event, so instrumentation-off replays pay
+        almost nothing.  Counter folds are assignments (idempotent);
+        histogram folds only observe samples not folded before, so
+        repeated snapshots never double-count.  Estimators exposing
+        ``obs_stats()`` (see :class:`repro.predictors.base.PointEstimator`)
+        get their counters folded in under ``estimator.*``.
+        """
+        reg = self.obs.registry
+        n_started = len(self._started)
+        reg.counter("sim.events_processed").value = self._n_events
+        reg.counter("sim.schedule_passes").value = self._n_passes
+        # Job life-cycle counts are derived, not counted: every admitted
+        # job is queued or started, every started job is running or
+        # recorded — so the replay loop carries no tallies for them.
+        reg.counter("sim.jobs_submitted").value = n_started + len(self.queued)
+        reg.counter("sim.jobs_started").value = n_started
+        reg.counter("sim.jobs_backfilled").value = self._n_backfilled
+        reg.counter("sim.jobs_finished").value = len(self._records)
+        reg.counter("sim.estimate_cache_hits").value = self._n_est_hits
+        reg.counter("sim.estimate_cache_misses").value = self._n_est_misses
+        reg.counter("sim.estimate_cache_flushes").value = self._n_est_flushes
+        h_wait = reg.histogram("sim.wait_time_seconds", WAIT_TIME_BUCKETS)
+        h_wait.reset()
+        for rec in self._records:
+            h_wait.observe(rec.start_time - rec.submit_time)
+        for rj in self.running:
+            h_wait.observe(rj.start_time - rj.job.submit_time)
+        reg.histogram("sim.pass_duration_seconds", PASS_DURATION_BUCKETS)
+        h_depth = reg.histogram("sim.backfill_depth", BACKFILL_DEPTH_BUCKETS)
+        for value in self._depth_samples[self._depth_folded :]:
+            h_depth.observe(value)
+        self._depth_folded = len(self._depth_samples)
+        snap = reg.snapshot()
+        stats = getattr(self.estimator, "obs_stats", None)
+        if stats is not None:
+            counters = snap["counters"]
+            for key, value in stats().items():
+                name = f"estimator.{key}"
+                counters[name] = counters.get(name, 0) + value
+        return snap
 
     # ------------------------------------------------------------------
     # setup
@@ -368,6 +525,16 @@ class Simulator:
                 )
             self.pending_reservations.append(res)
             self._events.push(res.start_time, RES_START, res)
+            if self._trace_enabled:
+                self._tracer.emit(
+                    "reservation_placed",
+                    sim_time=self.now,
+                    policy=self._policy_name,
+                    cause="advance_reservation",
+                    res_id=res.res_id,
+                    start_s=res.start_time,
+                    nodes=res.nodes,
+                )
 
     def load_snapshot(self, snapshot: SystemSnapshot) -> None:
         """Initialize mid-flight state for a forward simulation.
@@ -431,7 +598,7 @@ class Simulator:
             # scheduling pass sees the complete state.
             while events and events.peek_time() == t:
                 _, kind, payload = events.pop()
-                self.events_processed += 1
+                self._n_events += 1
                 if kind == FINISH:
                     self._handle_finish(payload)
                 elif kind == RES_END:
@@ -483,7 +650,17 @@ class Simulator:
             return {}
         if epoch != self._est_cache_epoch:
             self._est_cache_epoch = epoch
-            self._est_cache.clear()
+            if self._est_cache:
+                self._n_est_flushes += 1
+                if self._trace_enabled:
+                    self._tracer.emit(
+                        "replan_triggered",
+                        sim_time=self.now,
+                        policy=self._policy_name,
+                        cause="history_epoch_advanced",
+                        flushed=len(self._est_cache),
+                    )
+                self._est_cache.clear()
         return self._est_cache
 
     # ------------------------------------------------------------------
@@ -494,7 +671,7 @@ class Simulator:
         self.queued.append(qj)
         self._notify_estimator("on_submit", job)
         if self._observers:
-            view = SchedulerView(self)
+            view = self._view_cls(self)
             for obs in self._observers:
                 hook = getattr(obs, "on_submit", None)
                 if hook is not None:
@@ -517,11 +694,34 @@ class Simulator:
         )
         self._notify_estimator("on_finish", rj.job)
         if self._observers:
-            view = SchedulerView(self)
+            view = self._view_cls(self)
             for obs in self._observers:
                 hook = getattr(obs, "on_finish", None)
                 if hook is not None:
                     hook(view, rj.job)
+
+    def _handle_submit_traced(self, job: Job) -> None:
+        """:meth:`_handle_submit` plus the ``job_submitted`` event — bound
+        over the plain handler in ``__init__`` when tracing is on."""
+        self._tracer.emit(
+            "job_submitted",
+            sim_time=self.now,
+            job_id=job.job_id,
+            policy=self._policy_name,
+            nodes=job.nodes,
+        )
+        type(self)._handle_submit(self, job)
+
+    def _handle_finish_traced(self, rj: RunningJob) -> None:
+        """:meth:`_handle_finish` plus the ``job_finished`` event."""
+        self._tracer.emit(
+            "job_finished",
+            sim_time=self.now,
+            job_id=rj.job_id,
+            policy=self._policy_name,
+            run_s=self.now - rj.start_time,
+        )
+        type(self)._handle_finish(self, rj)
 
     def _handle_reservation_start(self, res: Reservation) -> None:
         self.pending_reservations.remove(res)
@@ -551,6 +751,16 @@ class Simulator:
                         duration=res.duration,
                     )
                 )
+                if self._trace_enabled and self.now > res.start_time:
+                    self._tracer.emit(
+                        "reservation_shifted",
+                        sim_time=self.now,
+                        cause="machine_busy",
+                        res_id=res.res_id,
+                        start_s=self.now,
+                        scheduled_start_s=res.start_time,
+                        nodes=res.nodes,
+                    )
             else:
                 still_waiting.append(res)
         self.waiting_reservations = still_waiting
@@ -562,12 +772,21 @@ class Simulator:
             # Every job needs >= 1 node, so no policy can start anything;
             # reservations are recomputed from scratch next pass anyway.
             return []
-        self.schedule_passes += 1
-        view = SchedulerView(self)
+        self._n_passes += 1
+        view = self._view_cls(self)
         selections = list(self.policy.select(view))
         selected_ids = {qj.job_id for qj in selections}
         if len(selected_ids) != len(selections):
             raise RuntimeError(f"{self.policy.name} selected a job twice")
+        if self._track_depth and selections:
+            depths = self._selection_depths(selected_ids)
+            for qj in selections:
+                if qj not in self.queued:
+                    raise RuntimeError(
+                        f"{self.policy.name} selected job {qj.job_id} not in queue"
+                    )
+                self._start_tracked(qj, depths.get(qj.job_id, 0))
+            return selections
         for qj in selections:
             if qj not in self.queued:
                 raise RuntimeError(
@@ -575,6 +794,39 @@ class Simulator:
                 )
             self._start(qj)
         return selections
+
+    def _schedule_pass_timed(self) -> list[QueuedJob]:
+        """Span-wrapped pass, bound over :meth:`_schedule_pass` in
+        ``__init__`` when pass timing is on — the default replay keeps the
+        plain method and never sees this frame.  The early exits mirror the
+        plain pass so spans map one-to-one onto counted passes."""
+        if not self.queued or self.pool.free == 0:
+            return []
+        with self._tracer.span(
+            "schedule_pass",
+            histogram=self._h_pass,
+            sim_time=self.now,
+            policy=self._policy_name,
+            queued=len(self.queued),
+        ) as span:
+            selections = type(self)._schedule_pass(self)
+            span.annotate(started=len(selections))
+        return selections
+
+    def _selection_depths(self, selected_ids: set[int]) -> dict[int, int]:
+        """Queue depth each selected job jumps: the number of *unselected*
+        jobs queued ahead of it.  Depth 0 is an in-order start; depth > 0
+        means the start leapfrogged earlier arrivals (a backfill)."""
+        depths: dict[int, int] = {}
+        ahead = 0
+        for qj in self.queued:
+            if qj.job_id in selected_ids:
+                depths[qj.job_id] = ahead
+                if len(depths) == len(selected_ids):
+                    break
+            else:
+                ahead += 1
+        return depths
 
     def _start(self, qj: QueuedJob) -> None:
         self.pool.allocate(qj.job.nodes)  # raises if the policy overcommitted
@@ -590,11 +842,38 @@ class Simulator:
         self._events.push(self.now + max(qj.job.run_time, 0.0), FINISH, rj)
         self._notify_estimator("on_start", qj.job)
         if self._observers:
-            view = SchedulerView(self)
+            view = self._view_cls(self)
             for obs in self._observers:
                 hook = getattr(obs, "on_start", None)
                 if hook is not None:
                     hook(view, qj.job)
+
+    def _start_tracked(self, qj: QueuedJob, depth: int) -> None:
+        """:meth:`_start` plus depth accounting and life-cycle events —
+        the detail/tracing start path (see ``_track_depth``)."""
+        self._start(qj)
+        self._depth_samples.append(depth)
+        if depth > 0:
+            self._n_backfilled += 1
+        if self._trace_enabled:
+            self._tracer.emit(
+                "job_started",
+                sim_time=self.now,
+                job_id=qj.job_id,
+                policy=self._policy_name,
+                wait_s=self.now - qj.job.submit_time,
+                nodes=qj.job.nodes,
+                depth=depth,
+            )
+            if depth > 0:
+                self._tracer.emit(
+                    "job_backfilled",
+                    sim_time=self.now,
+                    job_id=qj.job_id,
+                    policy=self._policy_name,
+                    cause="out_of_order_start",
+                    depth=depth,
+                )
 
     def _notify_estimator(self, hook_name: str, job: Job) -> None:
         hook = getattr(self.estimator, hook_name, None)

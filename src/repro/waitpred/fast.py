@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 
-from repro.scheduler.policies import BackfillPolicy, FCFSPolicy, LWFPolicy
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy
 from repro.scheduler.policies.backfill import AvailabilityProfile
 from repro.scheduler.policies.base import Policy
 from repro.scheduler.simulator import SystemSnapshot, forward_simulate

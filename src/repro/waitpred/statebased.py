@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs import Instrumentation
 from repro.predictors.base import PointEstimator
 from repro.stats.ci import RunningMoments
 from repro.utils.timeutils import DAY, HOUR
@@ -183,6 +184,7 @@ class StateBasedWaitPredictor:
         *,
         templates: Iterable[StateTemplate] = DEFAULT_STATE_TEMPLATES,
         confidence: float = 0.90,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.templates: tuple[StateTemplate, ...] = tuple(templates)
         if not self.templates:
@@ -195,6 +197,14 @@ class StateBasedWaitPredictor:
         self._categories: dict[tuple[int, tuple], _WaitCategory] = {}
         self._pending: dict[int, tuple[float, StateFeatures]] = {}
         self._wait_moments = RunningMoments()
+        obs = instrumentation if instrumentation is not None else Instrumentation()
+        self.obs = obs
+        reg = obs.registry
+        self._tracer = obs.tracer
+        self._c_predictions = reg.counter("statebased.predictions")
+        self._c_rampup = reg.counter("statebased.rampup_fallbacks")
+        self._c_observations = reg.counter("statebased.observations")
+        self._g_categories = reg.gauge("statebased.categories")
 
     # ------------------------------------------------------------------
     def _features(self, view, job: Job) -> StateFeatures:
@@ -239,13 +249,24 @@ class StateBasedWaitPredictor:
     def on_submit(self, view, qj) -> None:
         features = self._features(view, qj.job)
         predicted = self.predict_from_features(features)
-        if predicted is None:
+        rampup = predicted is None
+        if rampup:
             # Ramp-up fallback: the running mean of all observed waits.
             predicted = (
                 self._wait_moments.mean if self._wait_moments.count > 0 else 0.0
             )
+            self._c_rampup.value += 1
+        self._c_predictions.value += 1
         self.predicted_waits[qj.job_id] = predicted
         self._pending[qj.job_id] = (view.now, features)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "wait_predicted",
+                sim_time=view.now,
+                job_id=qj.job_id,
+                cause="rampup_fallback" if rampup else "state_category",
+                predicted_wait_s=predicted,
+            )
 
     def on_start(self, view, job: Job) -> None:
         entry = self._pending.pop(job.job_id, None)
@@ -260,6 +281,8 @@ class StateBasedWaitPredictor:
             if cat is None:
                 cat = self._categories[key] = _WaitCategory(template.max_history)
             cat.add(wait)
+        self._c_observations.value += 1
+        self._g_categories.set(len(self._categories))
 
     def on_finish(self, view, job: Job) -> None:
         # Keep the run-time estimator's history current for the rt feature.

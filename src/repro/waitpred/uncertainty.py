@@ -15,7 +15,6 @@ information) keep their point estimate with zero spread.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -25,7 +25,6 @@ from repro.utils.timeutils import HOUR, MINUTE
 from repro.workloads.job import Trace
 from repro.workloads.fields import WORKLOAD_FIELDS
 from repro.workloads.synthetic import (
-    QueueSpec,
     SyntheticWorkloadSpec,
     generate_trace,
     make_paragon_queues,

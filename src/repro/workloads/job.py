@@ -14,7 +14,7 @@ durations in seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
 __all__ = ["Job", "Trace"]

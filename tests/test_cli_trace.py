@@ -1,0 +1,69 @@
+"""CLI smoke tests for ``repro-sched trace``."""
+
+import json
+
+from repro.cli import main
+from repro.obs import read_jsonl, validate_events
+
+
+def _run(capsys, out, *extra):
+    code = main(
+        [
+            "trace",
+            "--workload", "ANL",
+            "--n-jobs", "120",
+            "--algorithms", "backfill", "fcfs",
+            "--predictor", "max",
+            "-o", str(out),
+            *extra,
+        ]
+    )
+    return code, capsys.readouterr().out
+
+
+def test_trace_writes_valid_jsonl(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code, _ = _run(capsys, out)
+    assert code == 0
+    events = read_jsonl(str(out))
+    assert validate_events(events) == len(events)
+    # one started and one finished event per job per policy
+    for policy in ("Backfill", "FCFS"):
+        started = [
+            e for e in events
+            if e["type"] == "job_started" and e.get("policy") == policy
+        ]
+        finished = [
+            e for e in events
+            if e["type"] == "job_finished" and e.get("policy") == policy
+        ]
+        assert len(started) == 120
+        assert len(finished) == 120
+
+
+def test_trace_check_and_summary(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code, stdout = _run(capsys, out, "--check", "--summary")
+    assert code == 0
+    assert "trace summary" in stdout
+    assert "job_started" in stdout
+    assert "Backfill" in stdout and "FCFS" in stdout
+
+
+def test_trace_metrics_json(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code, stdout = _run(capsys, out, "--metrics")
+    assert code == 0
+    merged = json.loads(stdout)
+    # both replays merged: 120 jobs x 2 policies
+    assert merged["counters"]["sim.jobs_started"] == 240
+    assert merged["counters"]["sim.jobs_finished"] == 240
+    assert merged["histograms"]["sim.wait_time_seconds"]["count"] == 240
+
+
+def test_trace_detail_emits_cache_events(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code, _ = _run(capsys, out, "--detail")
+    assert code == 0
+    events = read_jsonl(str(out))
+    assert any(e["type"] == "cache_miss" for e in events)

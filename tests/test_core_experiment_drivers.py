@@ -10,7 +10,6 @@ from repro.core.experiment import (
     run_wait_time_table,
     run_wait_time_experiment,
 )
-from repro.workloads.job import Trace
 
 
 class TestResolveTraces:

@@ -1,0 +1,183 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_histogram,
+    histogram_quantile,
+    merge_snapshots,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        c.value += 1  # the hot-path idiom
+        assert c.value == 7
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+
+class TestHistogram:
+    def test_bucket_edges_upper_inclusive(self):
+        h = Histogram("h", (1.0, 2.0, 4.0))
+        # exactly on a bound lands in that bound's bucket
+        for v in (0.0, 1.0):
+            h.observe(v)
+        h.observe(2.0)
+        h.observe(4.0)
+        h.observe(4.0000001)  # overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(11.0000001)
+
+    def test_counts_has_overflow_bucket(self):
+        h = Histogram("h", (10.0,))
+        assert len(h.counts) == 2
+        h.observe(100.0)
+        assert h.counts == [0, 1]
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_mean(self):
+        h = Histogram("h", (10.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h", (1.0,)) is reg.histogram("h", (1.0,))
+
+    def test_type_conflicts_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+        with pytest.raises(ValueError):
+            reg.histogram("a", (1.0,))
+
+    def test_histogram_bounds_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h", (1.0, 3.0))
+
+    def test_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_snapshot_is_json_serializable_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", (1.0, 2.0)).observe(0.5)
+        snap = reg.snapshot()
+        round_tripped = json.loads(json.dumps(snap))
+        assert round_tripped == snap
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["counts"] == [1, 0, 0]
+        # a *copy*: later increments don't retroactively change it
+        reg.counter("c").inc()
+        assert snap["counters"]["c"] == 3
+        assert json.loads(reg.to_json())["counters"]["c"] == 4
+
+
+class TestMerge:
+    def test_counters_add_gauges_last_win_histograms_add(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(1.0)
+        a.histogram("h", (1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.gauge("g").set(9.0)
+        b.histogram("h", (1.0,)).observe(5.0)
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"]["c"] == 5
+        assert merged["gauges"]["g"] == 9.0
+        assert merged["histograms"]["h"]["counts"] == [1, 1]
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(5.5)
+
+    def test_mismatched_bounds_raise(self):
+        a = MetricsRegistry()
+        a.histogram("h", (1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", (2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots(a.snapshot(), b.snapshot())
+
+    def test_empty_merge(self):
+        assert merge_snapshots() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestQuantileAndFormat:
+    def _hist(self, values, bounds=(1.0, 2.0, 4.0, 8.0)):
+        h = Histogram("h", bounds)
+        for v in values:
+            h.observe(v)
+        return {
+            "bounds": list(h.bounds),
+            "counts": list(h.counts),
+            "sum": h.sum,
+            "count": h.count,
+        }
+
+    def test_quantile_empty_is_none(self):
+        assert histogram_quantile(self._hist([]), 0.5) is None
+
+    def test_quantile_monotone_and_bounded(self):
+        snap = self._hist([0.5, 1.5, 3.0, 7.0, 100.0])
+        qs = [histogram_quantile(snap, q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert all(b >= a for a, b in zip(qs, qs[1:]))
+        # overflow quantiles report the last finite bound
+        assert qs[-1] <= 8.0
+        with pytest.raises(ValueError):
+            histogram_quantile(snap, 1.5)
+
+    def test_format_histogram(self):
+        snap = self._hist([0.5, 0.5, 3.0])
+        text = format_histogram(snap, title="waits")
+        assert "waits" in text
+        assert "count=3" in text
+        assert "#" in text
+        # empty buckets are omitted
+        assert "<= 2" not in text
+        assert math.isfinite(snap["sum"])
+
+    def test_format_empty_histogram(self):
+        text = format_histogram(self._hist([]))
+        assert "no observations" in text

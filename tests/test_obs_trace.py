@@ -1,0 +1,189 @@
+"""Tracer, spans, sinks, and the trace event schema."""
+
+import io
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Histogram,
+    JsonlSink,
+    ListSink,
+    NullSink,
+    Tracer,
+    TraceSchemaError,
+    read_jsonl,
+    summarize_events,
+    validate_event,
+    validate_events,
+    validate_jsonl,
+)
+
+
+class TestEmit:
+    def test_events_carry_type_and_wall_time(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        tracer.emit("job_submitted", sim_time=1.0, job_id=7, policy="FCFS")
+        (event,) = sink.events
+        assert event["type"] == "job_submitted"
+        assert event["job_id"] == 7
+        assert event["policy"] == "FCFS"
+        assert "wall_time" in event
+
+    def test_extra_fields_pass_through(self):
+        sink = ListSink()
+        Tracer(sink).emit("job_started", sim_time=0.0, job_id=1, wait_s=3.0, nodes=4)
+        assert sink.events[0]["nodes"] == 4
+
+    def test_null_sink_emits_nothing(self):
+        tracer = Tracer(NullSink())
+        assert tracer.enabled is False
+        tracer.emit("job_submitted", sim_time=0.0, job_id=1)  # no-op, no error
+
+
+class TestSpans:
+    def test_span_times_and_emits(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer", policy="FCFS") as span:
+            span.annotate(started=2)
+        (event,) = sink.events
+        assert event["type"] == "span"
+        assert event["name"] == "outer"
+        assert event["duration_s"] >= 0.0
+        assert event["started"] == 2
+        assert span.duration_s == event["duration_s"]
+
+    def test_nested_spans_record_parent(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.emit("replan_triggered", sim_time=0.0, cause="test")
+        inner_event, inner_span, outer_span = sink.events
+        assert inner_event["parent"] == "inner"
+        assert inner_span["name"] == "inner"
+        assert inner_span["parent"] == "outer"
+        assert "parent" not in outer_span
+        assert tracer._stack == []
+
+    def test_span_exception_safe(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kaput")
+        (event,) = sink.events
+        assert event["ok"] is False
+        assert event["error"] == "RuntimeError"
+        assert tracer._stack == []  # stack unwound despite the raise
+
+    def test_disabled_span_is_shared_noop(self):
+        s1 = NULL_TRACER.span("a")
+        s2 = NULL_TRACER.span("b")
+        assert s1 is s2  # no allocation on the disabled path
+        with s1 as span:
+            span.annotate(anything=1)
+
+    def test_disabled_span_still_feeds_histogram(self):
+        hist = Histogram("h", (10.0,))
+        with NULL_TRACER.span("timed", histogram=hist):
+            pass
+        assert hist.count == 1
+
+
+class TestJsonlRoundTrip:
+    def test_file_round_trip_validates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path)) as sink:
+            tracer = Tracer(sink)
+            tracer.emit("job_submitted", sim_time=0.0, job_id=1, nodes=2)
+            with tracer.span("schedule_pass", sim_time=0.0, policy="LWF"):
+                tracer.emit(
+                    "job_started", sim_time=0.0, job_id=1, wait_s=0.0, depth=0
+                )
+        assert sink.events_written == 3
+        events = read_jsonl(str(path))
+        assert validate_events(events) == 3
+        assert validate_jsonl(str(path)) == 3
+        assert [e["type"] for e in events] == [
+            "job_submitted",
+            "job_started",
+            "span",
+        ]
+        # events emitted inside a span are attributed to it
+        assert events[1]["parent"] == "schedule_pass"
+
+    def test_file_object_sink_flushes_not_closes(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        Tracer(sink).emit("replan_triggered", sim_time=0.0, cause="x")
+        sink.close()
+        assert not buf.closed
+        assert validate_events(read_jsonl(io.StringIO(buf.getvalue()))) == 1
+
+    def test_invalid_json_line_raises(self):
+        with pytest.raises(TraceSchemaError, match="line 1"):
+            read_jsonl(io.StringIO("{not json}\n"))
+
+
+class TestSchema:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TraceSchemaError, match="unknown event type"):
+            validate_event({"type": "job_teleported", "wall_time": 0.0})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(TraceSchemaError, match="wait_s"):
+            validate_event(
+                {"type": "job_started", "wall_time": 0.0, "job_id": 1, "sim_time": 0.0}
+            )
+
+    def test_missing_wall_time_rejected(self):
+        with pytest.raises(TraceSchemaError, match="wall_time"):
+            validate_event({"type": "job_submitted", "job_id": 1, "sim_time": 0.0})
+
+    def test_reservation_needs_an_id(self):
+        base = {"type": "reservation_placed", "wall_time": 0.0, "sim_time": 0.0,
+                "start_s": 5.0}
+        with pytest.raises(TraceSchemaError, match="job_id or res_id"):
+            validate_event(base)
+        validate_event(dict(base, job_id=3))
+        validate_event(dict(base, res_id=1))
+
+    def test_field_type_checks(self):
+        with pytest.raises(TraceSchemaError, match="must be a number"):
+            validate_event(
+                {"type": "job_submitted", "wall_time": 0.0, "job_id": 1,
+                 "sim_time": "soon"}
+            )
+        with pytest.raises(TraceSchemaError, match="must be an int"):
+            validate_event(
+                {"type": "job_submitted", "wall_time": 0.0, "job_id": True,
+                 "sim_time": 0.0}
+            )
+        with pytest.raises(TraceSchemaError, match="must be a string"):
+            validate_event(
+                {"type": "job_submitted", "wall_time": 0.0, "job_id": 1,
+                 "sim_time": 0.0, "policy": 7}
+            )
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TraceSchemaError):
+            validate_event([1, 2, 3])
+
+
+class TestSummarize:
+    def test_counts_by_policy_and_type(self):
+        events = [
+            {"type": "job_started", "policy": "FCFS"},
+            {"type": "job_started", "policy": "FCFS"},
+            {"type": "job_started", "policy": "LWF"},
+            {"type": "span"},
+        ]
+        rows = summarize_events(events)
+        assert rows == [
+            {"Policy": "-", "Event": "span", "Count": 1},
+            {"Policy": "FCFS", "Event": "job_started", "Count": 2},
+            {"Policy": "LWF", "Event": "job_started", "Count": 1},
+        ]

@@ -15,8 +15,6 @@ from repro.predictors.prediction_workload import (
 from repro.predictors.simple import ActualRuntimePredictor, MaxRuntimePredictor
 from repro.predictors.smith import SmithPredictor
 from repro.predictors.templates import Template
-from repro.workloads.job import Trace
-from repro.workloads.transform import head
 from tests.conftest import make_job
 
 

@@ -2,13 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.predictors.base import PointEstimator
 from repro.predictors.simple import ActualRuntimePredictor
 from repro.scheduler.policies import BackfillPolicy, EASYBackfillPolicy
 from repro.scheduler.simulator import Simulator
-from repro.workloads.job import Trace
 from tests.conftest import make_job
 from tests.fakes import FakeView
 

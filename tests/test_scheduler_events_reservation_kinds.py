@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.scheduler.events import FINISH, RES_END, RES_START, SUBMIT, EventQueue
 
 

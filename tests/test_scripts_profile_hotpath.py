@@ -1,0 +1,60 @@
+"""Smoke tests for ``scripts/profile_hotpath.py``."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "profile_hotpath.py")
+
+
+def _run(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, SCRIPT, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+@pytest.mark.slow
+def test_profile_hotpath_text_output_with_histogram():
+    proc = _run("--workload", "ANL", "--policy", "backfill", "--jobs", "150")
+    assert proc.returncode == 0, proc.stderr
+    assert "events/s" in proc.stdout
+    assert "scheduling-pass wall duration" in proc.stdout
+    assert "p50=" in proc.stdout
+
+
+@pytest.mark.slow
+def test_profile_hotpath_json_includes_metrics():
+    proc = _run(
+        "--workload", "ANL", "--policy", "fcfs", "--jobs", "150", "--json"
+    )
+    assert proc.returncode == 0, proc.stderr
+    stats = json.loads(proc.stdout)
+    assert stats["jobs"] == 150
+    counters = stats["metrics"]["counters"]
+    assert counters["sim.jobs_started"] == 150
+    assert counters["sim.events_processed"] == stats["events_processed"]
+    # detail mode times every pass into the histogram
+    hist = stats["metrics"]["histograms"]["sim.pass_duration_seconds"]
+    assert hist["count"] == stats["schedule_passes"]
+
+
+@pytest.mark.slow
+def test_profile_hotpath_reference_engine():
+    proc = _run(
+        "--workload", "ANL", "--policy", "backfill", "--jobs", "120",
+        "--engine", "reference", "--json",
+    )
+    assert proc.returncode == 0, proc.stderr
+    stats = json.loads(proc.stdout)
+    assert stats["engine"] == "reference"
+    assert stats["metrics"]["counters"]["sim.jobs_finished"] == 120

@@ -141,6 +141,44 @@ def test_predicted_waits_parity(workload, policy_name):
     assert waits_opt == waits_ref
 
 
+@pytest.mark.parametrize("policy_name", sorted(POLICY_PAIRS))
+def test_counter_parity(policy_name):
+    """The registry counters agree between the engines.
+
+    Events and job life-cycle counts are invariants of the replay, so
+    they must match exactly.  ``schedule_passes`` is *not* an invariant:
+    the optimized engine's zero-free-nodes early exit skips passes the
+    reference engine counts (and the skipped passes provably start
+    nothing), so the only sound assertion is optimized <= reference.
+    """
+    trace = parity_trace("ANL")
+    opt_cls, ref_cls = POLICY_PAIRS[policy_name]
+    sim_opt = Simulator(
+        opt_cls(), PointEstimator(make_predictor("max", trace)), trace.total_nodes
+    )
+    sim_opt.run(trace)
+    sim_ref = ReferenceSimulator(
+        ref_cls(), PointEstimator(make_predictor("max", trace)), trace.total_nodes
+    )
+    sim_ref.run(trace)
+
+    snap_opt = sim_opt.metrics_snapshot()["counters"]
+    snap_ref = sim_ref.metrics_snapshot()["counters"]
+    for name in (
+        "sim.events_processed",
+        "sim.jobs_submitted",
+        "sim.jobs_started",
+        "sim.jobs_finished",
+    ):
+        assert snap_opt[name] == snap_ref[name], name
+    assert snap_opt["sim.schedule_passes"] <= snap_ref["sim.schedule_passes"]
+    # ...and the back-compat properties read the same counters.
+    assert sim_opt.events_processed == snap_opt["sim.events_processed"]
+    assert sim_ref.events_processed == snap_ref["sim.events_processed"]
+    assert sim_opt.schedule_passes == snap_opt["sim.schedule_passes"]
+    assert sim_ref.schedule_passes == snap_ref["sim.schedule_passes"]
+
+
 # ----------------------------------------------------------------------
 # property parity of the rebuilt profile operations
 # ----------------------------------------------------------------------

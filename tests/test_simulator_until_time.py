@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.predictors.base import PointEstimator
 from repro.predictors.simple import ActualRuntimePredictor
 from repro.scheduler.policies import FCFSPolicy

@@ -6,16 +6,14 @@ import pytest
 
 from repro.predictors.base import PointEstimator
 from repro.predictors.simple import ActualRuntimePredictor
-from repro.scheduler.policies import FCFSPolicy, LWFPolicy
+from repro.scheduler.policies import LWFPolicy
 from repro.scheduler.simulator import Simulator
 from repro.waitpred.evaluation import evaluate_wait_predictions
 from repro.waitpred.statebased import (
-    DEFAULT_STATE_TEMPLATES,
     StateBasedWaitPredictor,
     StateFeatures,
     StateTemplate,
 )
-from repro.workloads.job import Trace
 from tests.conftest import make_job
 
 
