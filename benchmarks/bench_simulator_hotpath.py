@@ -15,8 +15,9 @@ Reported per cell:
 - mean pass cost (wall seconds / scheduling passes).
 
 A third test measures the cost of full JSONL event tracing
-(``repro.obs``) against the default disabled mode, asserting schedule
-equality between the two.
+(``repro.obs``) — and of tracing plus the prediction audit trail —
+against the default disabled mode, asserting schedule equality across
+all three arms.
 
 Scale follows the suite convention: ``REPRO_BENCH_JOBS`` jobs per
 workload (default 1000, ``0`` = full paper sizes from Table 1).  Set
@@ -51,11 +52,13 @@ POLICIES = (FCFSPolicy, LWFPolicy, BackfillPolicy)
 def _replay(engine_cls, policy, trace, instrumentation=None):
     """Run one replay; return (result, wall_seconds, simulator)."""
     kwargs = {}
+    est_kwargs = {}
     if instrumentation is not None:
         kwargs["instrumentation"] = instrumentation
+        est_kwargs["instrumentation"] = instrumentation
     sim = engine_cls(
         policy,
-        PointEstimator(make_predictor("max", trace)),
+        PointEstimator(make_predictor("max", trace), **est_kwargs),
         trace.total_nodes,
         **kwargs,
     )
@@ -130,14 +133,32 @@ def test_hotpath_tracing_overhead(benchmark):
                 instrumentation=Instrumentation(tracer=Tracer(sink)),
             )
         assert res_traced.records == res_plain.records
+        # Third arm: tracing + the prediction audit trail (the report
+        # pipeline's configuration).  Also must not change the schedule.
+        with open(os.devnull, "w", encoding="utf-8") as devnull:
+            audit_sink = JsonlSink(devnull)
+            res_audited, wall_audited, _ = _replay(
+                Simulator,
+                BackfillPolicy(),
+                trace,
+                instrumentation=Instrumentation(
+                    tracer=Tracer(audit_sink), audit=True
+                ),
+            )
+        assert res_audited.records == res_plain.records
         rows.append(
             {
                 "workload": workload,
                 "jobs": len(res_plain.records),
                 "plain_s": wall_plain,
                 "traced_s": wall_traced,
+                "audited_s": wall_audited,
                 "events_written": sink.events_written,
+                "audit_events_written": audit_sink.events_written,
                 "overhead_pct": 100.0 * (wall_traced / wall_plain - 1.0)
+                if wall_plain > 0
+                else 0.0,
+                "audit_overhead_pct": 100.0 * (wall_audited / wall_plain - 1.0)
                 if wall_plain > 0
                 else 0.0,
             }
@@ -146,12 +167,13 @@ def test_hotpath_tracing_overhead(benchmark):
     run_once(benchmark, _replay, Simulator, BackfillPolicy(), trace)
 
     print()
-    print(f"{'workload':<8} {'jobs':>6} {'plain(s)':>9} {'traced(s)':>10} {'events':>8} {'overhead':>9}")
+    print(f"{'workload':<8} {'jobs':>6} {'plain(s)':>9} {'traced(s)':>10} {'audited(s)':>11} {'events':>8} {'overhead':>9} {'audit ovh':>10}")
     for r in rows:
         print(
             f"{r['workload']:<8} {r['jobs']:>6} {r['plain_s']:>9.3f} "
-            f"{r['traced_s']:>10.3f} {r['events_written']:>8} "
-            f"{r['overhead_pct']:>8.1f}%"
+            f"{r['traced_s']:>10.3f} {r['audited_s']:>11.3f} "
+            f"{r['events_written']:>8} {r['overhead_pct']:>8.1f}% "
+            f"{r['audit_overhead_pct']:>9.1f}%"
         )
     _emit_json({"tracing_overhead": rows})
 

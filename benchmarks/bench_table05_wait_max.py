@@ -4,17 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from _common import print_wait_table, wait_time_rows
+from _common import cell_metrics, emit_bench_json, print_wait_table, run_once, wait_time_rows
 
 
 def test_table05_wait_prediction_max(benchmark):
-    cells = benchmark.pedantic(
-        wait_time_rows,
-        args=("max", ("fcfs", "lwf", "backfill")),
-        rounds=1,
-        iterations=1,
-    )
+    cells = run_once(benchmark, wait_time_rows, "max", ("fcfs", "lwf", "backfill"))
     print_wait_table("max", cells)
+    emit_bench_json(
+        {"table05": [c.as_row() for c in cells]}, metrics=cell_metrics(cells)
+    )
 
     # Maximum run times are loose overestimates: predicted waits overshoot
     # badly — the paper's errors run 94-350% of the mean wait.  Require the

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _common import print_wait_table, wait_time_rows
+from _common import cell_metrics, emit_bench_json, print_wait_table, run_once, wait_time_rows
 
 
 def _run():
@@ -20,8 +20,11 @@ def _run():
 
 
 def test_table06_wait_prediction_smith(benchmark):
-    smith, mx = benchmark.pedantic(_run, rounds=1, iterations=1)
+    smith, mx = run_once(benchmark, _run)
     print_wait_table("smith", smith)
+    emit_bench_json(
+        {"table06": [c.as_row() for c in smith]}, metrics=cell_metrics(smith)
+    )
 
     mx_by_key = {(c.workload, c.algorithm): c for c in mx}
     improvements = []

@@ -4,17 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from _common import print_wait_table, wait_time_rows
+from _common import cell_metrics, emit_bench_json, print_wait_table, run_once, wait_time_rows
 
 
 def test_table07_wait_prediction_gibbons(benchmark):
-    cells = benchmark.pedantic(
-        wait_time_rows,
-        args=("gibbons", ("fcfs", "lwf", "backfill")),
-        rounds=1,
-        iterations=1,
+    cells = run_once(
+        benchmark, wait_time_rows, "gibbons", ("fcfs", "lwf", "backfill")
     )
     print_wait_table("gibbons", cells)
+    emit_bench_json(
+        {"table07": [c.as_row() for c in cells]}, metrics=cell_metrics(cells)
+    )
     # Gibbons' history-based predictions, like Smith's, must land far
     # below the max-run-time regime (Table 5's 94-350%): aggregate under
     # ~120% of mean wait.

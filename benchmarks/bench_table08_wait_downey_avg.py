@@ -4,17 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from _common import print_wait_table, wait_time_rows
+from _common import cell_metrics, emit_bench_json, print_wait_table, run_once, wait_time_rows
 
 
 def test_table08_wait_prediction_downey_average(benchmark):
-    cells = benchmark.pedantic(
-        wait_time_rows,
-        args=("downey-average", ("fcfs", "lwf", "backfill")),
-        rounds=1,
-        iterations=1,
+    cells = run_once(
+        benchmark, wait_time_rows, "downey-average", ("fcfs", "lwf", "backfill")
     )
     print_wait_table("downey-average", cells)
+    emit_bench_json(
+        {"table08": [c.as_row() for c in cells]}, metrics=cell_metrics(cells)
+    )
     # All cells produced; errors finite and positive somewhere (Downey's
     # one-distribution-per-queue model cannot be exact).
     assert len(cells) == 12

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _common import print_wait_table, wait_time_rows
+from _common import cell_metrics, emit_bench_json, print_wait_table, run_once, wait_time_rows
 
 
 def _run():
@@ -18,8 +18,11 @@ def _run():
 
 
 def test_table09_wait_prediction_downey_median(benchmark):
-    med, smith = benchmark.pedantic(_run, rounds=1, iterations=1)
+    med, smith = run_once(benchmark, _run)
     print_wait_table("downey-median", med)
+    emit_bench_json(
+        {"table09": [c.as_row() for c in med]}, metrics=cell_metrics(med)
+    )
 
     smith_by_key = {(c.workload, c.algorithm): c for c in smith}
     wins = [

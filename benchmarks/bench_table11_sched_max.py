@@ -6,7 +6,7 @@ effect on utilization: utilizations here must track Table 10's.
 
 from __future__ import annotations
 
-from _common import print_scheduling_table, scheduling_rows
+from _common import cell_metrics, emit_bench_json, print_scheduling_table, run_once, scheduling_rows
 
 
 def _run():
@@ -14,8 +14,11 @@ def _run():
 
 
 def test_table11_scheduling_max(benchmark):
-    mx, oracle = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mx, oracle = run_once(benchmark, _run)
     print_scheduling_table("max", mx)
+    emit_bench_json(
+        {"table11": [c.as_row() for c in mx]}, metrics=cell_metrics(mx)
+    )
 
     oracle_by_key = {(c.workload, c.algorithm): c for c in oracle}
     for c in mx:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _common import print_scheduling_table, scheduling_rows
+from _common import cell_metrics, emit_bench_json, print_scheduling_table, run_once, scheduling_rows
 
 
 def _run():
@@ -17,8 +17,11 @@ def _run():
 
 
 def test_table12_scheduling_smith(benchmark):
-    smith, mx = benchmark.pedantic(_run, rounds=1, iterations=1)
+    smith, mx = run_once(benchmark, _run)
     print_scheduling_table("smith", smith)
+    emit_bench_json(
+        {"table12": [c.as_row() for c in smith]}, metrics=cell_metrics(smith)
+    )
 
     mx_by_key = {(c.workload, c.algorithm): c for c in mx}
     # Utilization invariance.

@@ -2,14 +2,15 @@
 
 from __future__ import annotations
 
-from _common import print_scheduling_table, scheduling_rows
+from _common import cell_metrics, emit_bench_json, print_scheduling_table, run_once, scheduling_rows
 
 
 def test_table13_scheduling_gibbons(benchmark):
-    cells = benchmark.pedantic(
-        scheduling_rows, args=("gibbons",), rounds=1, iterations=1
-    )
+    cells = run_once(benchmark, scheduling_rows, "gibbons")
     print_scheduling_table("gibbons", cells)
+    emit_bench_json(
+        {"table13": [c.as_row() for c in cells]}, metrics=cell_metrics(cells)
+    )
     assert len(cells) == 8
     for c in cells:
         assert 0.0 < c.utilization_percent <= 100.0

@@ -2,14 +2,15 @@
 
 from __future__ import annotations
 
-from _common import print_scheduling_table, scheduling_rows
+from _common import cell_metrics, emit_bench_json, print_scheduling_table, run_once, scheduling_rows
 
 
 def test_table14_scheduling_downey_average(benchmark):
-    cells = benchmark.pedantic(
-        scheduling_rows, args=("downey-average",), rounds=1, iterations=1
-    )
+    cells = run_once(benchmark, scheduling_rows, "downey-average")
     print_scheduling_table("downey-average", cells)
+    emit_bench_json(
+        {"table14": [c.as_row() for c in cells]}, metrics=cell_metrics(cells)
+    )
     assert len(cells) == 8
     for c in cells:
         assert 0.0 < c.utilization_percent <= 100.0

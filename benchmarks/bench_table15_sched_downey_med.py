@@ -6,7 +6,7 @@ predictor posts lower mean waits than the Downey predictors.
 
 from __future__ import annotations
 
-from _common import print_scheduling_table, scheduling_rows
+from _common import cell_metrics, emit_bench_json, print_scheduling_table, run_once, scheduling_rows
 
 
 def _run():
@@ -14,8 +14,11 @@ def _run():
 
 
 def test_table15_scheduling_downey_median(benchmark):
-    med, smith = benchmark.pedantic(_run, rounds=1, iterations=1)
+    med, smith = run_once(benchmark, _run)
     print_scheduling_table("downey-median", med)
+    emit_bench_json(
+        {"table15": [c.as_row() for c in med]}, metrics=cell_metrics(med)
+    )
 
     smith_anl = {
         c.algorithm: c.mean_wait_minutes for c in smith if c.workload == "ANL"

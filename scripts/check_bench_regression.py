@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Diff a fresh benchmark JSON emission against a committed baseline.
+
+The table benches (``benchmarks/bench_table*.py``) and the hot-path
+bench write their measurements through ``emit_bench_json`` /
+``REPRO_BENCH_JSON``.  This script flattens two such JSON files into
+dotted-path -> number maps and compares them:
+
+- *lower-is-better* keys (errors, waits, pass costs, overheads) may not
+  grow by more than ``--tolerance`` (relative);
+- *higher-is-better* keys (utilization, speedup, events/sec) may not
+  shrink by more than ``--tolerance``;
+- wall-clock keys (``wall_s``, ``plain_s``, ...) are machine-dependent
+  noise and are ignored;
+- any other numeric key is informational (reported with ``--verbose``,
+  never failing);
+- a ``bench_jobs`` mismatch between the two files is an error — numbers
+  at different scales are not comparable.
+
+Typical use (the committed baseline lives next to this script)::
+
+    REPRO_BENCH_JOBS=300 REPRO_BENCH_JSON=/tmp/bench.json \
+        python -m pytest benchmarks/bench_table04_wait_actual.py -q
+    python scripts/check_bench_regression.py \
+        --baseline benchmarks/baselines/tables_300.json \
+        --current /tmp/bench.json
+
+Exit status: 0 = no regressions, 1 = regression or scale mismatch,
+2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterator
+
+__all__ = ["flatten", "direction_of", "compare", "main"]
+
+#: Substrings marking a dotted key as wall-clock noise (ignored).
+WALL_CLOCK_MARKERS = (
+    "wall_s", "plain_s", "traced_s", "audited_s", "optimized_s",
+    "reference_s", "wall_time", "pass_cost_us", "duration",
+)
+#: Substrings marking a key where smaller numbers are better.
+LOWER_BETTER_MARKERS = (
+    "error", "wait", "overhead", "fallback", "cache_miss", "flushes",
+)
+#: Substrings marking a key where bigger numbers are better.
+HIGHER_BETTER_MARKERS = (
+    "utilization", "speedup", "events_per_s", "cache_hit",
+)
+
+
+def flatten(value: object, prefix: str = "") -> Iterator[tuple[str, float]]:
+    """Yield (dotted-path, number) for every numeric leaf of ``value``.
+
+    Lists of row dicts (the table emissions) are keyed by the row's
+    ``Workload``/``Scheduling Algorithm``-style identity fields when
+    present, falling back to the index, so reordering rows does not
+    create spurious diffs.
+    """
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield prefix, float(value)
+        return
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            sub_prefix = f"{prefix}.{key}" if prefix else str(key)
+            yield from flatten(sub, sub_prefix)
+        return
+    if isinstance(value, list):
+        for index, item in enumerate(value):
+            label = str(index)
+            if isinstance(item, dict):
+                identity = [
+                    str(item[f])
+                    for f in ("Workload", "workload", "Scheduling Algorithm",
+                              "Algorithm", "policy", "Predictor")
+                    if f in item
+                ]
+                if identity:
+                    label = "/".join(identity)
+            yield from flatten(item, f"{prefix}[{label}]")
+
+
+def direction_of(key: str) -> str:
+    """'ignore', 'lower', 'higher', or 'info' for a dotted key."""
+    lowered = key.lower()
+    if any(m in lowered for m in WALL_CLOCK_MARKERS):
+        return "ignore"
+    if any(m in lowered for m in HIGHER_BETTER_MARKERS):
+        return "higher"
+    if any(m in lowered for m in LOWER_BETTER_MARKERS):
+        return "lower"
+    return "info"
+
+
+def compare(
+    baseline: dict, current: dict, *, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return (regressions, notes) comparing two bench JSON dicts."""
+    if baseline.get("bench_jobs") != current.get("bench_jobs"):
+        return (
+            [
+                "bench_jobs mismatch: baseline ran at "
+                f"{baseline.get('bench_jobs')!r}, current at "
+                f"{current.get('bench_jobs')!r} — rerun at the same scale"
+            ],
+            [],
+        )
+    base_map = dict(flatten(baseline))
+    cur_map = dict(flatten(current))
+    regressions: list[str] = []
+    notes: list[str] = []
+    for key in sorted(base_map.keys() & cur_map.keys()):
+        if key == "bench_jobs":
+            continue
+        direction = direction_of(key)
+        if direction == "ignore":
+            continue
+        base, cur = base_map[key], cur_map[key]
+        if direction == "info":
+            if base != cur:
+                notes.append(f"{key}: {base:g} -> {cur:g}")
+            continue
+        # Tiny absolute values amplify relative noise below anything a
+        # schedule change would produce; treat them as equal.
+        if abs(base) < 1e-9 and abs(cur) < 1e-9:
+            continue
+        limit = abs(base) * tolerance + 1e-9
+        if direction == "lower" and cur - base > limit:
+            regressions.append(
+                f"{key}: {base:g} -> {cur:g} (lower is better, "
+                f"+{100.0 * (cur - base) / abs(base):.1f}%)"
+            )
+        elif direction == "higher" and base - cur > limit:
+            regressions.append(
+                f"{key}: {base:g} -> {cur:g} (higher is better, "
+                f"-{100.0 * (base - cur) / abs(base):.1f}%)"
+            )
+    only_base = sorted(base_map.keys() - cur_map.keys())
+    if only_base:
+        notes.append(
+            f"{len(only_base)} baseline key(s) missing from current "
+            f"(first: {only_base[0]})"
+        )
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly emitted JSON to check")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative drift (default 0.05 = 5%%)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print informational diffs")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        with open(args.current, "r", encoding="utf-8") as fh:
+            current = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    regressions, notes = compare(baseline, current, tolerance=args.tolerance)
+    if args.verbose:
+        for note in notes:
+            print(f"note: {note}")
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        print(f"{len(regressions)} regression(s) vs {args.baseline}")
+        return 1
+    print(
+        f"no regressions vs {args.baseline} "
+        f"(tolerance {100.0 * args.tolerance:.0f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

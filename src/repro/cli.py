@@ -8,6 +8,8 @@ Installed as the ``repro-sched`` console script::
     repro-sched summarize --n-jobs 2000
     repro-sched report --n-jobs 1000 -o EXPERIMENTS.md
     repro-sched trace --workload ANL --n-jobs 300 -o trace.jsonl --summary
+    repro-sched trace --wait-pred state -o trace.jsonl --metrics > metrics.json
+    repro-sched report trace.jsonl --metrics metrics.json --check
 """
 
 from __future__ import annotations
@@ -28,7 +30,8 @@ from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
 from repro.workloads.stats import summarize
 from repro.workloads.transform import compress_interarrival
 
-__all__ = ["main", "build_parser", "run_config", "run_trace"]
+__all__ = ["main", "build_parser", "run_config", "run_trace",
+           "run_report_from_trace"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,9 +83,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum = sub.add_parser("summarize", help="Table 1 style characterization")
     p_sum.add_argument("--n-jobs", type=int, default=1000)
 
-    p_rep = sub.add_parser("report", help="write the EXPERIMENTS.md grid")
-    p_rep.add_argument("--n-jobs", type=int, default=1000)
-    p_rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p_rep = sub.add_parser(
+        "report",
+        help="write the EXPERIMENTS.md grid, or — given a recorded JSONL "
+        "trace — a self-contained run report (schedule outcomes, "
+        "prediction accuracy, instrumentation overhead)",
+    )
+    p_rep.add_argument(
+        "trace", nargs="?", default=None,
+        help="JSONL trace from `repro-sched trace`; when given, build a "
+        "run report from it instead of the EXPERIMENTS.md grid",
+    )
+    p_rep.add_argument("--n-jobs", type=int, default=1000,
+                       help="(grid mode) jobs per workload")
+    p_rep.add_argument("-o", "--output", default=None,
+                       help="output file (grid mode default: EXPERIMENTS.md; "
+                       "run-report mode default: stdout)")
+    p_rep.add_argument("--metrics", default=None,
+                       help="(run-report mode) metrics snapshot JSON, e.g. "
+                       "captured from `repro-sched trace --metrics`")
+    p_rep.add_argument("--json", action="store_true",
+                       help="(run-report mode) emit the report as JSON")
+    p_rep.add_argument("--check", action="store_true",
+                       help="(run-report mode) validate the report against "
+                       "the minimal report schema")
+    p_rep.add_argument("--window", type=int, default=200,
+                       help="(run-report mode) rolling window for the drift "
+                       "signal")
 
     p_tr = sub.add_parser(
         "trace", help="replay with structured event tracing (repro.obs)"
@@ -105,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="JSONL event file to write")
     p_tr.add_argument("--detail", action="store_true",
                       help="also emit per-estimate cache_hit/cache_miss events")
+    p_tr.add_argument("--wait-pred", default="none",
+                      choices=["none", "forward", "state"],
+                      help="also attach a wait-time predictor observer, so "
+                      "the audit trail pairs wait predictions with realized "
+                      "waits (forward simulation or state-based)")
     p_tr.add_argument("--summary", action="store_true",
                       help="print a per-policy event-type breakdown")
     p_tr.add_argument("--check", action="store_true",
@@ -205,13 +237,40 @@ def run_trace(args: argparse.Namespace) -> int:
         tracer = Tracer(sink)
         for algorithm in args.algorithms:
             policy = make_policy(algorithm)
-            estimator = PointEstimator(make_predictor(args.predictor, wl))
-            sim = Simulator(
-                policy,
-                estimator,
-                wl.total_nodes,
-                instrumentation=Instrumentation(tracer=tracer, detail=args.detail),
+            # Fresh bundle (registry + audit) per algorithm, sharing the
+            # sink: pending predictions never leak across replays.
+            inst = Instrumentation(
+                tracer=tracer, detail=args.detail, audit=True
             )
+            estimator = PointEstimator(
+                make_predictor(args.predictor, wl), instrumentation=inst
+            )
+            sim = Simulator(
+                policy, estimator, wl.total_nodes, instrumentation=inst
+            )
+            if args.wait_pred == "forward":
+                from repro.waitpred.predictor import WaitTimePredictor
+
+                sim.add_observer(
+                    WaitTimePredictor(
+                        policy,
+                        make_predictor(args.predictor, wl),
+                        scheduler_estimator=estimator,
+                        instrumentation=inst,
+                    )
+                )
+            elif args.wait_pred == "state":
+                from repro.waitpred.statebased import StateBasedWaitPredictor
+
+                # Its own estimator copy: the observer feeds completions
+                # into its history itself, and sharing the scheduler's
+                # instance would ingest each completion twice.
+                sim.add_observer(
+                    StateBasedWaitPredictor(
+                        PointEstimator(make_predictor(args.predictor, wl)),
+                        instrumentation=inst,
+                    )
+                )
             result = sim.run(wl)
             job_counts[policy.name] = job_counts.get(policy.name, 0) + len(result)
             snapshots.append(sim.metrics_snapshot())
@@ -260,6 +319,57 @@ def run_trace(args: argparse.Namespace) -> int:
         )
     if args.metrics:
         print(json.dumps(merge_snapshots(*snapshots), indent=2, sort_keys=True))
+    return 0
+
+
+def run_report_from_trace(args: argparse.Namespace) -> int:
+    """The ``report <trace.jsonl>`` mode: trace (+ metrics) -> run report."""
+    import json
+
+    from repro.obs import (
+        ReportSchemaError,
+        TraceSchemaError,
+        build_report,
+        format_report,
+        read_jsonl,
+        report_to_json,
+        validate_events,
+        validate_report,
+    )
+
+    try:
+        events = read_jsonl(args.trace)
+        validate_events(events)
+    except (OSError, TraceSchemaError) as exc:
+        print(f"report FAILED: cannot use trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 1
+    metrics = None
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            metrics = json.load(fh)
+    report = build_report(events, metrics, window=args.window)
+    if args.check:
+        try:
+            validate_report(report)
+        except ReportSchemaError as exc:
+            print(f"report check FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"report check OK: {len(events)} events -> "
+            f"{len(report['schedule'])} policies, "
+            f"{len(report['accuracy']['groups'])} accuracy groups",
+            file=sys.stderr,
+        )
+    body = (
+        report_to_json(report) if args.json else format_report(report)
+    ) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(body)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(body, end="")
     return 0
 
 
@@ -318,15 +428,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
     if args.command == "report":
+        if args.trace is not None:
+            return run_report_from_trace(args)
         from repro.core.report import generate_experiments_report
 
+        output = args.output if args.output is not None else "EXPERIMENTS.md"
         body = generate_experiments_report(
             None if args.n_jobs <= 0 else args.n_jobs,
             progress=lambda msg: print(f"  {msg}", file=sys.stderr),
         )
-        with open(args.output, "w", encoding="utf-8") as fh:
+        with open(output, "w", encoding="utf-8") as fh:
             fh.write(body)
-        print(f"wrote {args.output}")
+        print(f"wrote {output}")
         return 0
 
     kind = {"scheduling": "scheduling", "wait-time": "wait-time",

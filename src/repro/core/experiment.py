@@ -130,20 +130,33 @@ def run_wait_time_experiment(
     *,
     templates: Iterable[Template] | None = None,
     scheduler_predictor: str = "max",
+    instrumentation=None,
 ) -> tuple[WaitTimeCell, WaitPredictionReport, ScheduleResult]:
     """Tables 4-9 cell: wait-time prediction accuracy.
 
     The scheduler's own estimates come from ``scheduler_predictor``
     (user maxima, per §3); the observer's come from ``predictor_name``.
+    An :class:`repro.obs.Instrumentation` bundle, when given, is shared
+    by the simulator, the scheduler's estimator and the observer — with
+    ``audit=True`` the replay leaves a full prediction audit trail.
     """
     policy = make_policy(policy_name)
     templates = _resolve_templates(predictor_name, trace, policy_name, templates)
-    scheduler_estimator = PointEstimator(make_predictor(scheduler_predictor, trace))
-    sim = Simulator(policy, scheduler_estimator, trace.total_nodes)
+    scheduler_estimator = PointEstimator(
+        make_predictor(scheduler_predictor, trace),
+        instrumentation=instrumentation,
+    )
+    sim = Simulator(
+        policy,
+        scheduler_estimator,
+        trace.total_nodes,
+        instrumentation=instrumentation,
+    )
     observer = WaitTimePredictor(
         policy,
         make_predictor(predictor_name, trace, templates=templates),
         scheduler_estimator=scheduler_estimator,
+        instrumentation=instrumentation,
     )
     sim.add_observer(observer)
     result = sim.run(trace)
@@ -167,14 +180,23 @@ def run_scheduling_experiment(
     predictor_name: str,
     *,
     templates: Iterable[Template] | None = None,
+    instrumentation=None,
 ) -> tuple[SchedulingCell, ScheduleResult]:
-    """Tables 10-15 cell: scheduling performance under a predictor."""
+    """Tables 10-15 cell: scheduling performance under a predictor.
+
+    ``instrumentation`` (an :class:`repro.obs.Instrumentation`) is shared
+    by the simulator and the estimator; with ``audit=True`` every
+    run-time prediction is paired with its outcome.
+    """
     policy = make_policy(policy_name)
     templates = _resolve_templates(predictor_name, trace, policy_name, templates)
     estimator = PointEstimator(
-        make_predictor(predictor_name, trace, templates=templates)
+        make_predictor(predictor_name, trace, templates=templates),
+        instrumentation=instrumentation,
     )
-    sim = Simulator(policy, estimator, trace.total_nodes)
+    sim = Simulator(
+        policy, estimator, trace.total_nodes, instrumentation=instrumentation
+    )
     result = sim.run(trace)
     cell = SchedulingCell(
         workload=trace.name,

@@ -1,12 +1,19 @@
-"""Observability: metrics registry, structured event tracing, profiling.
+"""Observability: metrics, event tracing, profiling, prediction audit.
 
 The subsystem is self-contained (stdlib only) and wired through the
-replay engines, the predictor adapter, and the state-based wait
-predictor.  See the "Observability" section of ``docs/architecture.md``
-for the event taxonomy, metric names and overhead budget, and
-``repro-sched trace`` for the user-facing entry point.
+replay engines, the predictor adapter, and the wait predictors.  See
+the "Observability" section of ``docs/architecture.md`` for the event
+taxonomy, metric names and overhead budget, and ``repro-sched trace`` /
+``repro-sched report`` for the user-facing entry points.
 """
 
+from repro.obs.accuracy import (
+    DEFAULT_DRIFT_WINDOW,
+    PREDICTION_KINDS,
+    AccuracyMonitor,
+    GroupStats,
+)
+from repro.obs.audit import PredictionAudit
 from repro.obs.instrument import Instrumentation
 from repro.obs.metrics import (
     BACKFILL_DEPTH_BUCKETS,
@@ -20,8 +27,17 @@ from repro.obs.metrics import (
     histogram_quantile,
     merge_snapshots,
 )
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    ReportSchemaError,
+    build_report,
+    format_report,
+    report_to_json,
+    validate_report,
+)
 from repro.obs.schema import (
     EVENT_TYPES,
+    PREDICTION_RESOLVED_KINDS,
     TraceSchemaError,
     read_jsonl,
     summarize_events,
@@ -59,10 +75,22 @@ __all__ = [
     "JsonlSink",
     "NULL_TRACER",
     "EVENT_TYPES",
+    "PREDICTION_RESOLVED_KINDS",
     "TraceSchemaError",
     "validate_event",
     "validate_events",
     "validate_jsonl",
     "read_jsonl",
     "summarize_events",
+    "PredictionAudit",
+    "AccuracyMonitor",
+    "GroupStats",
+    "PREDICTION_KINDS",
+    "DEFAULT_DRIFT_WINDOW",
+    "REPORT_SCHEMA_VERSION",
+    "ReportSchemaError",
+    "build_report",
+    "validate_report",
+    "format_report",
+    "report_to_json",
 ]

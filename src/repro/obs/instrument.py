@@ -1,7 +1,7 @@
 """The bundle the engines are instrumented with.
 
 :class:`Instrumentation` pairs a :class:`~repro.obs.metrics.MetricsRegistry`
-with a :class:`~repro.obs.trace.Tracer` and fixes the two cost knobs:
+with a :class:`~repro.obs.trace.Tracer` and fixes the cost knobs:
 
 - ``detail`` — count estimate-cache *hits* and (when the sink is
   enabled) emit per-estimate ``cache_hit``/``cache_miss`` events.  Off
@@ -11,15 +11,23 @@ with a :class:`~repro.obs.trace.Tracer` and fixes the two cost knobs:
   ``sim.pass_duration_seconds`` histogram (and emit ``span`` events
   when the sink is enabled).  Defaults to on exactly when the tracer is
   enabled or ``detail`` was requested, so plain replays pay nothing.
+- ``audit`` — a :class:`~repro.obs.audit.PredictionAudit` pairing every
+  prediction with its outcome (``runtime_predicted`` /
+  ``wait_predicted`` / ``prediction_resolved`` events plus a streaming
+  :class:`~repro.obs.accuracy.AccuracyMonitor`).  ``None`` by default;
+  pass ``audit=True`` to build one sharing the bundle's tracer.  The
+  engines bind the audited code paths only when this is set, so the
+  default replay executes zero audit instructions.
 
 The default ``Instrumentation()`` — fresh registry, shared null tracer,
-both knobs off — is what every :class:`~repro.scheduler.Simulator` gets
+all knobs off — is what every :class:`~repro.scheduler.Simulator` gets
 when the caller passes nothing; its overhead budget (<2% on the hot-path
 bench) is what lets the counters stay on unconditionally.
 """
 
 from __future__ import annotations
 
+from repro.obs.audit import PredictionAudit
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -27,9 +35,9 @@ __all__ = ["Instrumentation"]
 
 
 class Instrumentation:
-    """Metrics registry + tracer + cost knobs, handed to an engine."""
+    """Metrics registry + tracer + audit + cost knobs, handed to an engine."""
 
-    __slots__ = ("registry", "tracer", "detail", "time_passes")
+    __slots__ = ("registry", "tracer", "detail", "time_passes", "audit")
 
     def __init__(
         self,
@@ -38,6 +46,7 @@ class Instrumentation:
         *,
         detail: bool = False,
         time_passes: bool | None = None,
+        audit: PredictionAudit | bool | None = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -47,9 +56,15 @@ class Instrumentation:
             if time_passes is None
             else bool(time_passes)
         )
+        if audit is True:
+            audit = PredictionAudit(tracer=self.tracer)
+        elif audit is False:
+            audit = None
+        self.audit = audit
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Instrumentation(tracing={self.tracer.enabled}, "
-            f"detail={self.detail}, time_passes={self.time_passes})"
+            f"detail={self.detail}, time_passes={self.time_passes}, "
+            f"audit={self.audit is not None})"
         )

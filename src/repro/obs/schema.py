@@ -27,6 +27,15 @@ Event taxonomy
 ``cache_miss``        queued-job estimate required a predictor call
                       (detail mode only)
 ``wait_predicted``    an observer predicted a job's wait at submission
+                      (audited predictions add ``predictor``/``source``)
+``runtime_predicted`` the estimator adapter predicted a job's run time
+                      at submission (``predicted_run_s``, ``predictor``,
+                      optional ``source`` — the template/category or
+                      fallback that produced the number)
+``prediction_resolved`` a recorded prediction met its outcome: ``kind``
+                      (``run_time`` at finish, ``wait_time`` at start),
+                      ``predicted_s``, ``actual_s``, signed ``error_s``,
+                      ``predictor``
 ``span``              a timed block (``name``, ``duration_s``, optional
                       ``parent``)
 ==================== ======================================================
@@ -39,6 +48,7 @@ from typing import IO, Iterable
 
 __all__ = [
     "EVENT_TYPES",
+    "PREDICTION_RESOLVED_KINDS",
     "TraceSchemaError",
     "validate_event",
     "validate_events",
@@ -59,20 +69,29 @@ _REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     "cache_hit": ("job_id", "sim_time"),
     "cache_miss": ("job_id", "sim_time"),
     "wait_predicted": ("job_id", "sim_time", "predicted_wait_s"),
+    "runtime_predicted": ("job_id", "sim_time", "predicted_run_s", "predictor"),
+    "prediction_resolved": (
+        "job_id", "sim_time", "kind", "predictor", "predicted_s", "actual_s",
+    ),
     "span": ("name", "duration_s"),
 }
 
 EVENT_TYPES = frozenset(_REQUIRED_FIELDS)
 
+#: Values ``prediction_resolved.kind`` may take.
+PREDICTION_RESOLVED_KINDS = frozenset({"run_time", "wait_time"})
+
 #: Fields that, when present, must be numbers.
 _NUMERIC_FIELDS = (
     "wall_time", "sim_time", "wait_s", "run_s", "duration_s",
     "start_s", "previous_start_s", "scheduled_start_s", "predicted_wait_s",
+    "predicted_run_s", "predicted_s", "actual_s", "error_s",
 )
 #: Fields that, when present, must be ints.
 _INT_FIELDS = ("job_id", "depth", "nodes", "res_id")
 #: Fields that, when present, must be strings.
-_STR_FIELDS = ("policy", "cause", "name", "parent", "error")
+_STR_FIELDS = ("policy", "cause", "name", "parent", "error", "predictor",
+               "source", "kind")
 
 
 class TraceSchemaError(ValueError):
@@ -95,6 +114,13 @@ def validate_event(event: object) -> None:
         "job_id" not in event and "res_id" not in event
     ):
         raise TraceSchemaError(f"{etype}: needs job_id or res_id")
+    if etype == "prediction_resolved" and (
+        event.get("kind") not in PREDICTION_RESOLVED_KINDS
+    ):
+        raise TraceSchemaError(
+            f"{etype}: kind must be one of {sorted(PREDICTION_RESOLVED_KINDS)}, "
+            f"got {event.get('kind')!r}"
+        )
     for field in _NUMERIC_FIELDS:
         value = event.get(field)
         if value is not None and not isinstance(value, (int, float)):

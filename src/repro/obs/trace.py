@@ -80,30 +80,50 @@ class JsonlSink:
     """Writes one compact JSON object per line to a path or file object.
 
     Owns (and closes) the file handle when given a path; only flushes
-    when given an open file object.  Usable as a context manager.
+    when given an open file object.  Usable as a context manager, which
+    guarantees the flush-on-close.
+
+    Events are buffered (``buffer_lines`` at a time) and each flush
+    hands the file exactly one chunk of *complete* lines followed by an
+    immediate ``flush()`` of the handle — so a process killed mid-replay
+    leaves a trace of whole, schema-valid lines (the tail of the buffer
+    may be lost, but no line is ever truncated by the sink).
     """
 
     enabled = True
 
-    def __init__(self, target: str | IO[str]) -> None:
+    def __init__(self, target: str | IO[str], *, buffer_lines: int = 64) -> None:
+        if buffer_lines < 1:
+            raise ValueError(f"buffer_lines must be >= 1, got {buffer_lines}")
         if hasattr(target, "write"):
             self._fh: IO[str] = target  # type: ignore[assignment]
             self._owns = False
         else:
             self._fh = open(target, "w", encoding="utf-8")
             self._owns = True
+        self._buffer: list[str] = []
+        self._buffer_lines = buffer_lines
         self.events_written = 0
 
     def emit(self, event: dict) -> None:
-        self._fh.write(json.dumps(event, separators=(",", ":"), sort_keys=True))
-        self._fh.write("\n")
+        self._buffer.append(
+            json.dumps(event, separators=(",", ":"), sort_keys=True)
+        )
         self.events_written += 1
+        if len(self._buffer) >= self._buffer_lines:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write buffered events as one whole-lines chunk and flush."""
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._fh.flush()
 
     def close(self) -> None:
+        self.flush()
         if self._owns:
             self._fh.close()
-        else:
-            self._fh.flush()
 
     def __enter__(self) -> "JsonlSink":
         return self

@@ -127,6 +127,7 @@ class PointEstimator:
         default: float = 600.0,
         cap_at_max: bool = False,
         volatile: bool = False,
+        instrumentation=None,
     ) -> None:
         if default <= 0:
             raise ValueError(f"default must be positive, got {default}")
@@ -171,6 +172,12 @@ class PointEstimator:
         # static predictors (user maxima, actual run times) keep a
         # permanently valid cache.
         self._mean_used = False
+        # Prediction audit: when the instrumentation bundle carries one,
+        # shadow on_submit with the audited variant on this instance so
+        # the un-audited path executes zero extra instructions.
+        self._audit = getattr(instrumentation, "audit", None)
+        if self._audit is not None:
+            self.on_submit = self._on_submit_audited  # type: ignore[method-assign]
 
     @property
     def name(self) -> str:
@@ -243,6 +250,37 @@ class PointEstimator:
         if self._bump_on_submit:
             self._epoch += 1
         self.predictor.on_submit(job, now)
+
+    def _on_submit_audited(self, job: Job, now: float) -> None:
+        type(self).on_submit(self, job, now)
+        est, source = self._estimate_with_source(job, now)
+        self._audit.record_runtime(
+            job.job_id, now, est, predictor=self.name, source=source
+        )
+
+    def _estimate_with_source(self, job: Job, now: float) -> tuple[float, str]:
+        """The submission-time estimate plus which chain link produced it.
+
+        Re-runs the fallback chain without touching the hot-path tallies
+        or the ``_mean_used`` cache signal, so ``obs_stats()`` and the
+        epoch sequence are identical with and without auditing.
+        """
+        pred = self.predictor.predict(job, 0.0, now)
+        if pred is not None:
+            est = pred.estimate
+            source = pred.source or "predicted"
+        elif self.fall_back_to_max and job.max_run_time is not None:
+            est = job.max_run_time
+            source = "fallback_max"
+        elif self._completed_count > 0:
+            est = self._completed_sum / self._completed_count
+            source = "fallback_mean"
+        else:
+            est = self.default
+            source = "fallback_default"
+        if self.cap_at_max and job.max_run_time is not None:
+            est = min(est, job.max_run_time)
+        return max(est, 0.0), source
 
     def on_start(self, job: Job, now: float) -> None:
         if self._bump_on_start:

@@ -425,6 +425,15 @@ class Simulator:
             # the untraced replay keeps handlers with zero obs code.
             self._handle_submit = self._handle_submit_traced
             self._handle_finish = self._handle_finish_traced
+        self._audit = obs.audit
+        if self._audit is not None:
+            # Wrap whatever finish/start paths the modes above bound —
+            # composing with tracing instead of multiplying variants.
+            # The default replay keeps the plain methods untouched.
+            self._inner_handle_finish = self._handle_finish
+            self._handle_finish = self._handle_finish_audited
+            self._inner_start = self._start
+            self._start = self._start_audited
         if self._time_passes:
             self._h_pass = obs.registry.histogram(
                 "sim.pass_duration_seconds", PASS_DURATION_BUCKETS
@@ -722,6 +731,24 @@ class Simulator:
             run_s=self.now - rj.start_time,
         )
         type(self)._handle_finish(self, rj)
+
+    def _handle_finish_audited(self, rj: RunningJob) -> None:
+        """Run the finish path the other modes bound (plain or traced),
+        then resolve the job's run-time predictions against the actual."""
+        self._inner_handle_finish(rj)
+        self._audit.resolve_runtime(
+            rj.job_id, self.now, self.now - rj.start_time,
+            policy=self._policy_name,
+        )
+
+    def _start_audited(self, qj: QueuedJob) -> None:
+        """Run the bound start path, then resolve the job's wait-time
+        predictions against the realized wait."""
+        wait_s = self.now - qj.job.submit_time
+        self._inner_start(qj)
+        self._audit.resolve_wait(
+            qj.job_id, self.now, wait_s, policy=self._policy_name
+        )
 
     def _handle_reservation_start(self, res: Reservation) -> None:
         self.pending_reservations.remove(res)

@@ -24,10 +24,20 @@ class WaitPredictionReport:
     n_jobs: int
     mean_abs_error: float  # seconds
     mean_wait: float  # seconds, of the realized schedule
+    median_abs_error: float = 0.0  # seconds
+    p90_abs_error: float = 0.0  # seconds
 
     @property
     def mean_abs_error_minutes(self) -> float:
         return seconds_to_minutes(self.mean_abs_error)
+
+    @property
+    def median_abs_error_minutes(self) -> float:
+        return seconds_to_minutes(self.median_abs_error)
+
+    @property
+    def p90_abs_error_minutes(self) -> float:
+        return seconds_to_minutes(self.p90_abs_error)
 
     @property
     def mean_wait_minutes(self) -> float:
@@ -65,4 +75,6 @@ def evaluate_wait_predictions(
         n_jobs=n,
         mean_abs_error=float(np.mean(errors)) if n else 0.0,
         mean_wait=float(np.mean(waits)) if n else 0.0,
+        median_abs_error=float(np.median(errors)) if n else 0.0,
+        p90_abs_error=float(np.percentile(errors, 90)) if n else 0.0,
     )

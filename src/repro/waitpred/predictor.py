@@ -98,6 +98,7 @@ class WaitTimePredictor:
         default: float = 600.0,
         fall_back_to_max: bool = True,
         fast: bool = True,
+        instrumentation=None,
     ) -> None:
         self.policy = policy
         self.estimator = PointEstimator(
@@ -107,6 +108,10 @@ class WaitTimePredictor:
         self.fast = fast
         #: job_id -> predicted wait in seconds, recorded at submission.
         self.predicted_waits: dict[int, float] = {}
+        # Prediction audit (see repro.obs.audit): record each wait
+        # prediction under the forward-simulation id; the simulator
+        # resolves it against the realized wait at the job's start.
+        self._audit = getattr(instrumentation, "audit", None)
 
     # -- observer hooks --------------------------------------------------
     def on_submit(self, view: SchedulerView, qj: QueuedJob) -> None:
@@ -116,7 +121,7 @@ class WaitTimePredictor:
             queued=tuple(view.queued),
             total_nodes=view.total_nodes,
         )
-        self.predicted_waits[qj.job_id] = predict_wait(
+        predicted = predict_wait(
             snapshot,
             self.policy,
             self.estimator,
@@ -124,6 +129,15 @@ class WaitTimePredictor:
             scheduler_estimator=self.scheduler_estimator,
             fast=self.fast,
         )
+        self.predicted_waits[qj.job_id] = predicted
+        if self._audit is not None:
+            self._audit.record_wait(
+                qj.job_id,
+                view.now,
+                predicted,
+                predictor="forward-sim",
+                source=self.estimator.name,
+            )
 
     def on_finish(self, view: SchedulerView, job: Job) -> None:
         # Historical predictors ingest completions as they happen (§2.1).

@@ -201,6 +201,7 @@ class StateBasedWaitPredictor:
         self.obs = obs
         reg = obs.registry
         self._tracer = obs.tracer
+        self._audit = obs.audit
         self._c_predictions = reg.counter("statebased.predictions")
         self._c_rampup = reg.counter("statebased.rampup_fallbacks")
         self._c_observations = reg.counter("statebased.observations")
@@ -228,7 +229,15 @@ class StateBasedWaitPredictor:
 
     def predict_from_features(self, features: StateFeatures) -> float | None:
         """Smallest-CI category mean across templates, or ``None``."""
-        best: tuple[float, float] | None = None  # (half width, estimate)
+        result = self._predict_with_source(features)
+        return None if result is None else result[0]
+
+    def _predict_with_source(
+        self, features: StateFeatures
+    ) -> tuple[float, str] | None:
+        """The prediction plus the winning template's description (for
+        the audit trail's per-template drill-down)."""
+        best: tuple[float, float, int] | None = None  # (half width, est, idx)
         for idx, template in enumerate(self.templates):
             cat = self._categories.get((idx, features.key(template.features)))
             if cat is None:
@@ -238,28 +247,41 @@ class StateBasedWaitPredictor:
                 continue
             est, hw = result
             if best is None or hw < best[0]:
-                best = (hw, est)
+                best = (hw, est, idx)
         if best is None:
             return None
-        return max(best[1], 0.0)
+        return max(best[1], 0.0), self.templates[best[2]].describe()
 
     # ------------------------------------------------------------------
     # observer hooks
     # ------------------------------------------------------------------
     def on_submit(self, view, qj) -> None:
         features = self._features(view, qj.job)
-        predicted = self.predict_from_features(features)
-        rampup = predicted is None
+        result = self._predict_with_source(features)
+        rampup = result is None
         if rampup:
             # Ramp-up fallback: the running mean of all observed waits.
             predicted = (
                 self._wait_moments.mean if self._wait_moments.count > 0 else 0.0
             )
+            source = "rampup"
             self._c_rampup.value += 1
+        else:
+            predicted, source = result
         self._c_predictions.value += 1
         self.predicted_waits[qj.job_id] = predicted
         self._pending[qj.job_id] = (view.now, features)
-        if self._tracer.enabled:
+        if self._audit is not None:
+            # The audit emits the (richer) wait_predicted event itself
+            # and will pair it with the realized wait at start.
+            self._audit.record_wait(
+                qj.job_id,
+                view.now,
+                predicted,
+                predictor="state-based",
+                source=source,
+            )
+        elif self._tracer.enabled:
             self._tracer.emit(
                 "wait_predicted",
                 sim_time=view.now,

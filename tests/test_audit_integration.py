@@ -1,0 +1,192 @@
+"""End-to-end audit-trail guarantees.
+
+Three properties the report pipeline stands on:
+
+1. the audited MAE equals the repo's offline evaluators
+   (``replay_prediction_error`` for run times on a zero-wait replay,
+   ``evaluate_wait_predictions`` for waits) within float tolerance;
+2. attaching the audit never changes the schedule or the estimator's
+   fallback tallies;
+3. the disabled path binds zero audit machinery (no shadowed methods,
+   no per-instance handlers) — the hot path is untouched, not merely
+   guarded.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import Instrumentation, ListSink, Tracer, validate_events
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import ActualRuntimePredictor
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.replay import replay_prediction_error
+from repro.predictors.templates import Template
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy
+from repro.scheduler.simulator import Simulator
+from repro.waitpred.evaluation import evaluate_wait_predictions
+from repro.waitpred.predictor import WaitTimePredictor
+from repro.workloads.job import Trace
+from tests.conftest import make_job
+
+
+def smith():
+    return SmithPredictor([Template(characteristics=("u",))])
+
+
+def zero_wait_trace() -> Trace:
+    """Every job starts at submission: enough nodes for all of them.
+
+    Submit and finish instants never coincide (integer submits,
+    fractional run times), so the simulator's event order matches the
+    replay evaluator's ``finish <= submit`` history updates exactly.
+    """
+    jobs = [
+        make_job(
+            job_id=i,
+            submit_time=float(i * 100),
+            run_time=50.0 + 13.7 * (i % 7),
+            nodes=2,
+            user=("alice", "bob", "carol")[i % 3],
+        )
+        for i in range(1, 41)
+    ]
+    return Trace(jobs, total_nodes=sum(j.nodes for j in jobs), name="zero-wait")
+
+
+class TestMAEMatchesOfflineEvaluators:
+    def test_runtime_audit_matches_replay_evaluator(self):
+        trace = zero_wait_trace()
+        inst = Instrumentation(audit=True)
+        estimator = PointEstimator(smith(), instrumentation=inst)
+        sim = Simulator(FCFSPolicy(), estimator, trace.total_nodes, instrumentation=inst)
+        result = sim.run(trace)
+        assert all(r.wait_time == 0.0 for r in result.records)
+
+        reference = replay_prediction_error(trace, smith())
+        group = inst.audit.monitor.group("run_time", "smith")
+        assert group.n == reference.n_jobs == len(trace)
+        assert math.isclose(group.mae, reference.mean_abs_error, rel_tol=1e-9)
+        # The fallback split shows up as per-source drill-down keys.
+        keys = group.snapshot()["keys"]
+        assert sum(k["n"] for k in keys.values()) == group.n
+        n_fallback = sum(
+            k["n"] for key, k in keys.items() if key.startswith("fallback")
+        )
+        assert n_fallback == reference.n_fallback
+
+    def test_wait_audit_matches_evaluate_wait_predictions(self, small_trace):
+        inst = Instrumentation(audit=True)
+        estimator = PointEstimator(ActualRuntimePredictor())
+        sim = Simulator(
+            FCFSPolicy(), estimator, small_trace.total_nodes, instrumentation=inst
+        )
+        obs = WaitTimePredictor(
+            FCFSPolicy(),
+            ActualRuntimePredictor(),
+            scheduler_estimator=estimator,
+            instrumentation=inst,
+        )
+        sim.add_observer(obs)
+        result = sim.run(small_trace)
+
+        reference = evaluate_wait_predictions(result, obs.predicted_waits)
+        group = inst.audit.monitor.group("wait_time", "forward-sim")
+        assert group.n == reference.n_jobs == len(result.records)
+        assert math.isclose(
+            group.mae, reference.mean_abs_error, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+class TestAuditNeutrality:
+    def test_schedule_and_tallies_unchanged_by_audit(self, anl_trace):
+        est_plain = PointEstimator(smith())
+        plain = Simulator(BackfillPolicy(), est_plain, anl_trace.total_nodes)
+        res_plain = plain.run(anl_trace)
+
+        inst = Instrumentation(audit=True)
+        est_audited = PointEstimator(smith(), instrumentation=inst)
+        audited = Simulator(
+            BackfillPolicy(), est_audited, anl_trace.total_nodes,
+            instrumentation=inst,
+        )
+        res_audited = audited.run(anl_trace)
+
+        assert res_audited.records == res_plain.records
+        # The audited estimate re-derivation must not bump the hot-path
+        # fallback tallies (obs_stats feeds the metrics snapshot).
+        assert est_audited.obs_stats() == est_plain.obs_stats()
+
+    def test_audit_neutral_on_top_of_tracing(self, anl_trace):
+        """Tracing changes estimator call counts (events carry estimate
+        fields); adding the audit on top must not move them further."""
+
+        def run(audit: bool):
+            inst = Instrumentation(tracer=Tracer(ListSink()), audit=audit)
+            est = PointEstimator(smith(), instrumentation=inst)
+            sim = Simulator(
+                BackfillPolicy(), est, anl_trace.total_nodes,
+                instrumentation=inst,
+            )
+            return sim.run(anl_trace), est
+
+        res_traced, est_traced = run(audit=False)
+        res_audited, est_audited = run(audit=True)
+        assert res_audited.records == res_traced.records
+        assert est_audited.obs_stats() == est_traced.obs_stats()
+
+    def test_audited_trace_validates_and_resolves(self, anl_trace):
+        sink = ListSink()
+        inst = Instrumentation(tracer=Tracer(sink), audit=True)
+        estimator = PointEstimator(smith(), instrumentation=inst)
+        sim = Simulator(
+            BackfillPolicy(), estimator, anl_trace.total_nodes,
+            instrumentation=inst,
+        )
+        sim.run(anl_trace)
+        validate_events(sink.events)
+        types = {e["type"] for e in sink.events}
+        assert "runtime_predicted" in types
+        assert "prediction_resolved" in types
+        # A complete replay finishes every job: nothing stays pending.
+        assert inst.audit.unresolved_runtime == 0
+        assert inst.audit.unresolved_wait == 0
+        assert inst.audit.monitor.group("run_time", "smith").n == len(anl_trace)
+
+
+class TestZeroCostWhenDisabled:
+    def test_plain_simulator_binds_no_audit_handlers(self):
+        sim = Simulator(
+            FCFSPolicy(), PointEstimator(ActualRuntimePredictor()), 10
+        )
+        assert sim._audit is None
+        assert "_handle_finish" not in vars(sim)
+        assert "_start" not in vars(sim)
+        assert not hasattr(sim, "_inner_handle_finish")
+        assert not hasattr(sim, "_inner_start")
+
+    def test_plain_estimator_binds_no_audit_hook(self):
+        est = PointEstimator(ActualRuntimePredictor())
+        assert est._audit is None
+        assert "on_submit" not in vars(est)
+
+    def test_tracing_only_keeps_audit_unbound(self):
+        inst = Instrumentation(tracer=Tracer(ListSink()))
+        sim = Simulator(
+            FCFSPolicy(),
+            PointEstimator(ActualRuntimePredictor(), instrumentation=inst),
+            10,
+            instrumentation=inst,
+        )
+        assert sim._audit is None
+        assert not hasattr(sim, "_inner_handle_finish")
+
+    def test_audit_composes_with_tracing(self):
+        inst = Instrumentation(tracer=Tracer(ListSink()), audit=True)
+        sim = Simulator(
+            FCFSPolicy(), PointEstimator(ActualRuntimePredictor()), 10,
+            instrumentation=inst,
+        )
+        # The audited wrapper delegates to the traced handler it shadowed.
+        assert sim._handle_finish.__func__ is Simulator._handle_finish_audited
+        assert sim._inner_handle_finish.__func__ is Simulator._handle_finish_traced

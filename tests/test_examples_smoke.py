@@ -18,6 +18,7 @@ _CASES = [
     ("swf_trace.py", []),
     ("coallocation.py", ["200"]),
     ("resource_selection.py", ["150"]),
+    ("observability.py", ["150"]),
 ]
 
 

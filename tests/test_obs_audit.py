@@ -1,0 +1,123 @@
+"""Per-job prediction audit trail (repro.obs.audit)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    AccuracyMonitor,
+    Instrumentation,
+    ListSink,
+    PredictionAudit,
+    Tracer,
+    validate_events,
+)
+
+
+def make_audit():
+    sink = ListSink()
+    audit = PredictionAudit(tracer=Tracer(sink))
+    return audit, sink
+
+
+class TestRecordResolve:
+    def test_runtime_round_trip(self):
+        audit, sink = make_audit()
+        audit.record_runtime(1, 0.0, 100.0, predictor="smith", source="u/e")
+        assert audit.unresolved_runtime == 1
+        audit.resolve_runtime(1, 50.0, 120.0, policy="FCFS")
+        assert audit.unresolved_runtime == 0
+
+        predicted, resolved = sink.events
+        assert predicted["type"] == "runtime_predicted"
+        assert predicted["predicted_run_s"] == 100.0
+        assert predicted["predictor"] == "smith"
+        assert predicted["source"] == "u/e"
+        assert resolved["type"] == "prediction_resolved"
+        assert resolved["kind"] == "run_time"
+        assert resolved["predicted_s"] == 100.0
+        assert resolved["actual_s"] == 120.0
+        assert resolved["error_s"] == pytest.approx(-20.0)
+        assert resolved["policy"] == "FCFS"
+        validate_events(sink.events)
+
+        group = audit.monitor.group("run_time", "smith")
+        assert group.n == 1
+        assert group.mae == pytest.approx(20.0)
+        assert group.snapshot()["keys"]["u/e"]["n"] == 1
+
+    def test_wait_round_trip(self):
+        audit, sink = make_audit()
+        audit.record_wait(3, 10.0, 60.0, predictor="state-based", source="rampup")
+        assert audit.unresolved_wait == 1
+        audit.resolve_wait(3, 100.0, 90.0)
+        assert audit.unresolved_wait == 0
+        predicted, resolved = sink.events
+        assert predicted["type"] == "wait_predicted"
+        assert predicted["predicted_wait_s"] == 60.0
+        assert resolved["kind"] == "wait_time"
+        assert resolved["error_s"] == pytest.approx(-30.0)
+        validate_events(sink.events)
+        assert audit.monitor.group("wait_time", "state-based").n == 1
+
+    def test_first_record_per_job_predictor_wins(self):
+        audit, sink = make_audit()
+        audit.record_runtime(1, 0.0, 100.0, predictor="smith")
+        audit.record_runtime(1, 5.0, 999.0, predictor="smith")  # ignored
+        audit.record_runtime(1, 5.0, 200.0, predictor="max")  # separate group
+        audit.resolve_runtime(1, 50.0, 100.0)
+        assert audit.monitor.group("run_time", "smith").mae == pytest.approx(0.0)
+        assert audit.monitor.group("run_time", "max").mae == pytest.approx(100.0)
+        # One recording event per (job, predictor): the duplicate is silent.
+        assert [e["type"] for e in sink.events].count("runtime_predicted") == 2
+
+    def test_resolving_unknown_job_is_noop(self):
+        audit, sink = make_audit()
+        audit.resolve_runtime(42, 0.0, 10.0)
+        audit.resolve_wait(42, 0.0, 10.0)
+        assert sink.events == []
+        assert audit.monitor.total_observations == 0
+
+    def test_resolution_is_once_only(self):
+        audit, _ = make_audit()
+        audit.record_wait(1, 0.0, 30.0, predictor="forward-sim")
+        audit.resolve_wait(1, 40.0, 40.0)
+        audit.resolve_wait(1, 41.0, 41.0)  # pending already popped
+        assert audit.monitor.group("wait_time", "forward-sim").n == 1
+
+    def test_empty_source_field_omitted(self):
+        audit, sink = make_audit()
+        audit.record_runtime(1, 0.0, 10.0, predictor="max")
+        audit.resolve_runtime(1, 1.0, 10.0)
+        assert all("source" not in e for e in sink.events)
+        validate_events(sink.events)
+
+    def test_monitor_feeds_without_tracer(self):
+        audit = PredictionAudit()  # NULL_TRACER: no events, stats still flow
+        audit.record_runtime(1, 0.0, 10.0, predictor="max")
+        audit.resolve_runtime(1, 1.0, 14.0)
+        assert audit.monitor.group("run_time", "max").mae == pytest.approx(4.0)
+
+    def test_shared_monitor_injection(self):
+        mon = AccuracyMonitor(window=5)
+        audit = PredictionAudit(monitor=mon)
+        audit.record_wait(1, 0.0, 5.0, predictor="p")
+        audit.resolve_wait(1, 2.0, 6.0)
+        assert mon.total_observations == 1
+
+
+class TestInstrumentationSlot:
+    def test_audit_true_builds_audit_with_tracer(self):
+        sink = ListSink()
+        inst = Instrumentation(tracer=Tracer(sink), audit=True)
+        assert isinstance(inst.audit, PredictionAudit)
+        assert inst.audit.tracer is inst.tracer
+
+    def test_audit_defaults_off(self):
+        assert Instrumentation().audit is None
+        assert Instrumentation(audit=False).audit is None
+
+    def test_audit_instance_passes_through(self):
+        audit = PredictionAudit()
+        inst = Instrumentation(audit=audit)
+        assert inst.audit is audit

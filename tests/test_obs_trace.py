@@ -1,6 +1,11 @@
 """Tracer, spans, sinks, and the trace event schema."""
 
 import io
+import json
+import os
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -128,6 +133,82 @@ class TestJsonlRoundTrip:
             read_jsonl(io.StringIO("{not json}\n"))
 
 
+class TestJsonlBuffering:
+    def test_holds_until_buffer_full_then_writes_whole_chunk(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf, buffer_lines=3)
+        tracer = Tracer(sink)
+        tracer.emit("replan_triggered", sim_time=0.0, cause="a")
+        tracer.emit("replan_triggered", sim_time=1.0, cause="b")
+        assert buf.getvalue() == ""  # below the threshold: nothing on disk
+        assert sink.events_written == 2
+        tracer.emit("replan_triggered", sim_time=2.0, cause="c")
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 3  # third emit flushed the whole chunk
+        assert all(json.loads(line)["type"] == "replan_triggered" for line in lines)
+
+    def test_explicit_flush_drains_partial_buffer(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf, buffer_lines=100)
+        sink.emit({"type": "span", "wall_time": 0.0, "name": "x", "duration_s": 0.1})
+        sink.flush()
+        assert len(buf.getvalue().splitlines()) == 1
+        sink.flush()  # idempotent on an empty buffer
+        assert len(buf.getvalue().splitlines()) == 1
+
+    def test_buffer_lines_below_one_rejected(self):
+        with pytest.raises(ValueError, match="buffer_lines"):
+            JsonlSink(io.StringIO(), buffer_lines=0)
+
+    def test_context_manager_flushes_on_exit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path), buffer_lines=100) as sink:
+            Tracer(sink).emit("job_submitted", sim_time=0.0, job_id=1, nodes=2)
+            assert path.read_text() == ""  # still buffered inside the block
+        assert validate_jsonl(str(path)) == 1
+
+    def test_killed_writer_leaves_only_whole_valid_lines(self, tmp_path):
+        """SIGKILL mid-replay must not leave truncated JSONL lines.
+
+        The sink writes whole-line chunks followed by an immediate
+        handle flush, so whatever had reached the file when the process
+        died parses and validates line-by-line.
+        """
+        import repro
+
+        script = (
+            "import sys\n"
+            "from repro.obs import JsonlSink, Tracer\n"
+            "tracer = Tracer(JsonlSink(sys.argv[1], buffer_lines=7))\n"
+            "i = 0\n"
+            "while True:\n"
+            "    i += 1\n"
+            "    tracer.emit('job_submitted', sim_time=float(i), job_id=i, nodes=1)\n"
+        )
+        path = tmp_path / "killed.jsonl"
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)], env=env
+        )
+        try:
+            deadline = time.time() + 20.0
+            while time.time() < deadline:
+                if path.exists() and path.stat().st_size > 4096:
+                    break
+                time.sleep(0.01)
+            else:
+                raise AssertionError("writer produced no output in time")
+        finally:
+            proc.kill()
+            proc.wait()
+        events = read_jsonl(str(path))  # raises on any malformed line
+        assert validate_events(events) == len(events) >= 1
+        # The tail is the highest-numbered whole event, nothing partial.
+        assert [e["job_id"] for e in events] == list(range(1, len(events) + 1))
+
+
 class TestSchema:
     def test_unknown_type_rejected(self):
         with pytest.raises(TraceSchemaError, match="unknown event type"):
@@ -171,6 +252,26 @@ class TestSchema:
     def test_non_dict_rejected(self):
         with pytest.raises(TraceSchemaError):
             validate_event([1, 2, 3])
+
+    def test_runtime_predicted_requires_prediction_fields(self):
+        base = {"type": "runtime_predicted", "wall_time": 0.0, "sim_time": 0.0,
+                "job_id": 1}
+        with pytest.raises(TraceSchemaError, match="predicted_run_s"):
+            validate_event(base)
+        validate_event(
+            dict(base, predicted_run_s=120.0, predictor="smith", source="u/e")
+        )
+
+    def test_prediction_resolved_requires_known_kind(self):
+        base = {"type": "prediction_resolved", "wall_time": 0.0, "sim_time": 9.0,
+                "job_id": 1, "predictor": "smith", "predicted_s": 10.0,
+                "actual_s": 12.0}
+        with pytest.raises(TraceSchemaError, match="kind"):
+            validate_event(base)
+        with pytest.raises(TraceSchemaError, match="kind"):
+            validate_event(dict(base, kind="walk_time"))
+        validate_event(dict(base, kind="run_time", error_s=-2.0))
+        validate_event(dict(base, kind="wait_time"))
 
 
 class TestSummarize:

@@ -1,0 +1,187 @@
+"""Unit and CLI tests for ``scripts/check_bench_regression.py``."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "check_bench_regression.py")
+
+_spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+cbr = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(cbr)
+
+
+def sample_emission() -> dict:
+    return {
+        "bench_jobs": 300,
+        "table04": [
+            {"Workload": "ANL", "Scheduling Algorithm": "FCFS",
+             "Mean Error (minutes)": 10.0, "Percent of Mean Wait": 25.0},
+            {"Workload": "CTC", "Scheduling Algorithm": "LWF",
+             "Mean Error (minutes)": 4.0, "Percent of Mean Wait": 50.0},
+        ],
+        "table10": [
+            {"Workload": "ANL", "Scheduling Algorithm": "Backfill",
+             "Utilization (%)": 60.0, "Mean Wait (minutes)": 30.0},
+        ],
+        "metrics": {"counters": {"sim.events_processed": 1200}},
+        "wall_s": 3.5,
+    }
+
+
+class TestFlatten:
+    def test_rows_keyed_by_identity_fields(self):
+        flat = dict(cbr.flatten(sample_emission()))
+        assert flat["table04[ANL/FCFS].Mean Error (minutes)"] == 10.0
+        assert flat["table10[ANL/Backfill].Utilization (%)"] == 60.0
+        assert flat["metrics.counters.sim.events_processed"] == 1200.0
+        assert flat["bench_jobs"] == 300.0
+
+    def test_row_reorder_is_invisible(self):
+        reordered = sample_emission()
+        reordered["table04"] = list(reversed(reordered["table04"]))
+        assert dict(cbr.flatten(sample_emission())) == dict(cbr.flatten(reordered))
+
+    def test_anonymous_rows_fall_back_to_index(self):
+        flat = dict(cbr.flatten({"xs": [{"v": 1.0}, {"v": 2.0}]}))
+        assert flat == {"xs[0].v": 1.0, "xs[1].v": 2.0}
+
+    def test_booleans_and_strings_skipped(self):
+        assert dict(cbr.flatten({"ok": True, "name": "x", "n": 2})) == {"n": 2.0}
+
+
+class TestDirectionOf:
+    @pytest.mark.parametrize(
+        "key, expected",
+        [
+            ("table04[ANL/FCFS].Mean Error (minutes)", "lower"),
+            ("table10[ANL/LWF].Mean Wait (minutes)", "lower"),
+            ("table10[ANL/LWF].Utilization (%)", "higher"),
+            ("throughput[ANL/Backfill].events_per_s", "higher"),
+            ("throughput[ANL/Backfill].wall_s", "ignore"),
+            ("tracing_overhead[0].audited_s", "ignore"),
+            ("throughput[ANL/Backfill].pass_cost_us", "ignore"),
+            ("metrics.counters.sim.events_processed", "info"),
+        ],
+    )
+    def test_classification(self, key, expected):
+        assert cbr.direction_of(key) == expected
+
+
+class TestCompare:
+    def test_identical_files_pass(self):
+        regressions, notes = cbr.compare(
+            sample_emission(), sample_emission(), tolerance=0.05
+        )
+        assert regressions == []
+        assert notes == []
+
+    def test_lower_better_growth_flagged(self):
+        current = sample_emission()
+        current["table04"][0]["Mean Error (minutes)"] = 11.0  # +10%
+        regressions, _ = cbr.compare(sample_emission(), current, tolerance=0.05)
+        assert len(regressions) == 1
+        assert "Mean Error" in regressions[0]
+
+    def test_improvement_never_flagged(self):
+        current = sample_emission()
+        current["table04"][0]["Mean Error (minutes)"] = 5.0  # better
+        current["table10"][0]["Utilization (%)"] = 70.0  # better
+        regressions, _ = cbr.compare(sample_emission(), current, tolerance=0.05)
+        assert regressions == []
+
+    def test_higher_better_shrink_flagged(self):
+        current = sample_emission()
+        current["table10"][0]["Utilization (%)"] = 50.0  # -17%
+        regressions, _ = cbr.compare(sample_emission(), current, tolerance=0.05)
+        assert len(regressions) == 1
+        assert "Utilization" in regressions[0]
+
+    def test_drift_within_tolerance_passes(self):
+        current = sample_emission()
+        current["table04"][0]["Mean Error (minutes)"] = 10.4  # +4% < 5%
+        regressions, _ = cbr.compare(sample_emission(), current, tolerance=0.05)
+        assert regressions == []
+
+    def test_wall_clock_noise_ignored(self):
+        current = sample_emission()
+        current["wall_s"] = 400.0
+        regressions, _ = cbr.compare(sample_emission(), current, tolerance=0.05)
+        assert regressions == []
+
+    def test_info_keys_reported_as_notes_only(self):
+        current = sample_emission()
+        current["metrics"]["counters"]["sim.events_processed"] = 9999
+        regressions, notes = cbr.compare(
+            sample_emission(), current, tolerance=0.05
+        )
+        assert regressions == []
+        assert any("sim.events_processed" in n for n in notes)
+
+    def test_bench_jobs_mismatch_is_hard_error(self):
+        current = sample_emission()
+        current["bench_jobs"] = 1000
+        regressions, _ = cbr.compare(sample_emission(), current, tolerance=0.05)
+        assert len(regressions) == 1
+        assert "bench_jobs mismatch" in regressions[0]
+
+    def test_missing_baseline_keys_noted(self):
+        current = sample_emission()
+        del current["table10"]
+        regressions, notes = cbr.compare(
+            sample_emission(), current, tolerance=0.05
+        )
+        assert regressions == []
+        assert any("missing from current" in n for n in notes)
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", sample_emission())
+        cur = self._write(tmp_path, "cur.json", sample_emission())
+        assert cbr.main(["--baseline", base, "--current", cur]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        worse = sample_emission()
+        worse["table04"][0]["Mean Error (minutes)"] = 20.0
+        base = self._write(tmp_path, "base.json", sample_emission())
+        cur = self._write(tmp_path, "cur.json", worse)
+        assert cbr.main(["--baseline", base, "--current", cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_file(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", sample_emission())
+        assert cbr.main(
+            ["--baseline", base, "--current", str(tmp_path / "nope.json")]
+        ) == 2
+
+    def test_committed_baseline_matches_its_own_copy(self, tmp_path):
+        """The in-repo baseline must be self-consistent under the checker."""
+        baseline = os.path.join(
+            REPO_ROOT, "benchmarks", "baselines", "tables_300.json"
+        )
+        assert cbr.main(["--baseline", baseline, "--current", baseline]) == 0
+
+    def test_cli_entry_point(self, tmp_path):
+        base = self._write(tmp_path, "base.json", sample_emission())
+        env = dict(os.environ)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, "--baseline", base, "--current", base,
+             "--verbose"],
+            capture_output=True, text=True, env=env, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "no regressions" in proc.stdout

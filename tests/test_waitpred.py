@@ -104,6 +104,14 @@ class TestEvaluation:
         assert report.percent_of_mean_wait == pytest.approx(100.0 * 30.0 / 90.0)
         assert report.mean_abs_error_minutes == pytest.approx(0.5)
 
+    def test_median_and_p90(self):
+        report = evaluate_wait_predictions(self._result(), {1: 0.0, 2: 120.0})
+        # abs errors: [60, 0] -> median 30 s; p90 = 54 s (linear interp).
+        assert report.median_abs_error == pytest.approx(30.0)
+        assert report.p90_abs_error == pytest.approx(54.0)
+        assert report.median_abs_error_minutes == pytest.approx(0.5)
+        assert report.p90_abs_error_minutes == pytest.approx(0.9)
+
     def test_missing_prediction_raises(self):
         with pytest.raises(KeyError, match="job 2"):
             evaluate_wait_predictions(self._result(), {1: 0.0})
@@ -116,9 +124,14 @@ class TestEvaluation:
         )
         report = evaluate_wait_predictions(res, {1: 0.0})
         assert report.percent_of_mean_wait == 0.0
+        assert report.median_abs_error == 0.0
+        assert report.p90_abs_error == 0.0
 
     def test_empty_result(self):
         res = ScheduleResult([], total_nodes=4)
         report = evaluate_wait_predictions(res, {})
         assert report.n_jobs == 0
         assert report.mean_abs_error == 0.0
+        assert report.median_abs_error == 0.0
+        assert report.p90_abs_error == 0.0
+        assert report.percent_of_mean_wait == 0.0
