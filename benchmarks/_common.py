@@ -28,12 +28,14 @@ from repro.core.paper_reference import (
     SCHEDULING_TABLES,
     WAIT_TIME_TABLES,
 )
+from repro.core.rounding import round_half_up
 from repro.core.tables import format_table
 from repro.workloads.archive import load_paper_workload
 from repro.workloads.job import Trace
 
 __all__ = [
     "bench_jobs",
+    "bench_parallel",
     "bench_trace",
     "bench_traces",
     "wait_time_rows",
@@ -55,6 +57,16 @@ def bench_jobs() -> int | None:
     return None if raw <= 0 else raw
 
 
+def bench_parallel() -> int:
+    """Worker processes for the table drivers (``REPRO_BENCH_PARALLEL``).
+
+    Default 1 keeps every bench on the serial path; ``0`` means one
+    worker per CPU (see :mod:`repro.core.parallel`).
+    """
+    raw = int(os.environ.get("REPRO_BENCH_PARALLEL", "1"))
+    return (os.cpu_count() or 1) if raw <= 0 else raw
+
+
 @lru_cache(maxsize=None)
 def bench_trace(name: str) -> Trace:
     return load_paper_workload(name, n_jobs=bench_jobs())
@@ -66,12 +78,17 @@ def bench_traces() -> list[Trace]:
 
 def wait_time_rows(predictor: str, algorithms: Sequence[str]) -> list[WaitTimeCell]:
     return run_wait_time_table(
-        predictor, workloads=bench_traces(), algorithms=algorithms
+        predictor,
+        workloads=bench_traces(),
+        algorithms=algorithms,
+        max_workers=bench_parallel(),
     )
 
 
 def scheduling_rows(predictor: str) -> list[SchedulingCell]:
-    return run_scheduling_table(predictor, workloads=bench_traces())
+    return run_scheduling_table(
+        predictor, workloads=bench_traces(), max_workers=bench_parallel()
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -136,7 +153,7 @@ def print_wait_table(predictor: str, cells: Iterable[WaitTimeCell]) -> None:
                 "Workload": c.workload,
                 "Algorithm": c.algorithm,
                 "Error (min)": round(c.mean_error_minutes, 2),
-                "% of wait": round(c.percent_of_mean_wait),
+                "% of wait": round_half_up(c.percent_of_mean_wait),
                 "Paper err": r.mean_error_minutes if r else "",
                 "Paper %": r.percent_of_mean_wait if r else "",
             }

@@ -1,0 +1,78 @@
+"""Engineering bench — parallel table execution (speedup vs the serial driver).
+
+The paper's tables are grids of independent replay cells;
+``run_scheduling_table(..., max_workers=N)`` fans them across a process
+pool (:mod:`repro.core.parallel`).  This bench runs one reduced-scale
+table serially and at 2 and 4 workers, asserts cell-for-cell equality
+with the serial result at every width, and emits the measured wall
+clocks plus speedups as standard bench JSON.
+
+Cell-equality is asserted at every scale and core count.  The speedup
+floor is deliberately modest (>= 2.0x at 4 workers, below the ~3x a
+4-core machine reaches) and only armed on runners with at least 4 CPUs
+at ``REPRO_BENCH_JOBS >= 500`` — below that, process start-up and trace
+regeneration dominate the replay work and the measurement is noise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _common import bench_jobs, emit_bench_json, run_once
+
+from repro.core.experiment import run_scheduling_table
+
+WORKLOADS = ("ANL", "CTC", "SDSC95", "SDSC96")
+ALGORITHMS = ("lwf", "backfill")
+WIDTHS = (2, 4)
+
+
+def _table(max_workers: int):
+    return run_scheduling_table(
+        "max",
+        workloads=list(WORKLOADS),
+        algorithms=ALGORITHMS,
+        n_jobs=bench_jobs(),
+        max_workers=max_workers,
+    )
+
+
+def test_table_parallel_scaling(benchmark):
+    timings: dict[int, float] = {}
+
+    def timed(max_workers: int):
+        t0 = time.perf_counter()
+        cells = _table(max_workers)
+        timings[max_workers] = time.perf_counter() - t0
+        return cells
+
+    serial = timed(1)
+    parallel = {w: timed(w) for w in WIDTHS[:-1]}
+    parallel[WIDTHS[-1]] = run_once(benchmark, timed, WIDTHS[-1])
+
+    # Parity is the contract: same cells, same order, any pool width.
+    for width, cells in parallel.items():
+        assert cells == serial, f"parallel table (width {width}) diverged"
+
+    rows = [
+        {
+            "workers": width,
+            "wall_s": round(timings[width], 3),
+            "speedup": round(timings[1] / timings[width], 2)
+            if timings[width] > 0
+            else float("inf"),
+        }
+        for width in (1, *WIDTHS)
+    ]
+    emit_bench_json({"table_parallel": rows})
+
+    print()
+    print(f"{'workers':>8} {'wall(s)':>9} {'speedup':>8}")
+    for r in rows:
+        print(f"{r['workers']:>8} {r['wall_s']:>9.3f} {r['speedup']:>7.2f}x")
+
+    jobs = bench_jobs()
+    if (os.cpu_count() or 1) >= 4 and (jobs is None or jobs >= 500):
+        best = timings[1] / timings[4]
+        assert best >= 2.0, f"4-worker table speedup regressed: {best:.2f}x"

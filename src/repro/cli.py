@@ -15,6 +15,7 @@ Installed as the ``repro-sched`` console script::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -72,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=None)
         p.add_argument("--compress", type=float, default=1.0,
                        help="divide interarrival gaps by this factor")
+        p.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="fan the grid's cells across N worker "
+                       "processes (1 = serial; 0 = one per CPU)")
 
     p_sched = sub.add_parser("scheduling", help="Tables 10-15 style grid")
     add_grid_args(p_sched, algorithms=True)
@@ -163,6 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config_from_args(args: argparse.Namespace, kind: str) -> ExperimentConfig:
+    raw_parallel = getattr(args, "parallel", 1)
     return ExperimentConfig(
         kind=kind,
         workloads=tuple(args.workloads),
@@ -171,6 +176,7 @@ def _config_from_args(args: argparse.Namespace, kind: str) -> ExperimentConfig:
         n_jobs=None if args.n_jobs <= 0 else args.n_jobs,
         seed=args.seed,
         compress=args.compress,
+        parallel=(os.cpu_count() or 1) if raw_parallel <= 0 else raw_parallel,
     )
 
 
@@ -181,8 +187,42 @@ def _load(config: ExperimentConfig, name: str):
     return trace
 
 
+def _run_config_parallel(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Fan a scheduling/wait-time grid across worker processes.
+
+    Cells come back in the serial iteration order (workload → algorithm
+    → predictor), so the printed rows are identical to a serial run's.
+    """
+    from repro.core.parallel import (
+        ExperimentPlan,
+        ParallelExecutionError,
+        run_table_parallel,
+    )
+
+    plan = ExperimentPlan.for_grid(
+        "scheduling" if config.kind == "scheduling" else "wait-time",
+        workloads=config.workloads,
+        algorithms=config.algorithms,
+        predictors=config.predictors,
+        n_jobs=config.n_jobs,
+        seed=config.seed,
+        compress=config.compress,
+    )
+    run = run_table_parallel(plan, max_workers=config.parallel)
+    if run.failures:
+        raise ParallelExecutionError(run.failures)
+    rows = []
+    for result in run.results:
+        row = result.cell.as_row()
+        row["Predictor"] = result.spec.predictor
+        rows.append(row)
+    return rows
+
+
 def run_config(config: ExperimentConfig) -> list[dict[str, object]]:
     """Execute a config and return printable row dicts."""
+    if config.parallel > 1 and config.kind in ("scheduling", "wait-time"):
+        return _run_config_parallel(config)
     rows: list[dict[str, object]] = []
     for workload in config.workloads:
         trace = _load(config, workload)

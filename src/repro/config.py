@@ -23,6 +23,8 @@ class ExperimentConfig:
 
     ``n_jobs=None`` runs the full paper-scale workloads.  ``compress``
     divides interarrival gaps (the §4 load-raising transformation).
+    ``parallel`` fans the grid's cells across that many worker processes
+    (see :mod:`repro.core.parallel`); 1 is the serial path.
     """
 
     kind: str = "scheduling"
@@ -32,6 +34,7 @@ class ExperimentConfig:
     n_jobs: int | None = 1000
     seed: int | None = None
     compress: float = 1.0
+    parallel: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -52,6 +55,8 @@ class ExperimentConfig:
             raise ValueError("n_jobs must be >= 1 or None")
         if self.compress <= 0:
             raise ValueError("compress must be positive")
+        if self.parallel < 1:
+            raise ValueError("parallel must be >= 1")
 
     def as_dict(self) -> dict:
         return asdict(self)

@@ -6,6 +6,9 @@
   prediction accuracy (Tables 4-9) and scheduling performance
   (Tables 10-15), plus run-time prediction accuracy and the compressed-
   interarrival study;
+- :mod:`repro.core.parallel` — process-pool execution of a table's
+  (workload, algorithm, predictor) cell grid with deterministic per-cell
+  regeneration, bounded retry, and metrics merging;
 - :mod:`repro.core.tables` — plain-text rendering in the paper's layout.
 """
 
@@ -15,6 +18,17 @@ from repro.core.registry import (
     make_policy,
     make_predictor,
 )
+from repro.core.parallel import (
+    CellFailure,
+    CellResult,
+    CellSpec,
+    ExperimentPlan,
+    ParallelExecutionError,
+    TableRun,
+    execute_cell,
+    run_table_parallel,
+)
+from repro.core.rounding import round_half_up
 from repro.core.experiment import (
     SchedulingCell,
     WaitTimeCell,
@@ -40,5 +54,14 @@ __all__ = [
     "run_wait_time_experiment",
     "run_wait_time_table",
     "run_runtime_prediction_experiment",
+    "CellSpec",
+    "CellResult",
+    "CellFailure",
+    "ExperimentPlan",
+    "TableRun",
+    "ParallelExecutionError",
+    "execute_cell",
+    "run_table_parallel",
+    "round_half_up",
     "format_table",
 ]

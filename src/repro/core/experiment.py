@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core.registry import make_policy, make_predictor
+from repro.core.rounding import round_half_up
 from repro.predictors.base import PointEstimator
 from repro.predictors.replay import replay_prediction_error
 from repro.predictors.templates import Template
@@ -64,7 +65,7 @@ class WaitTimeCell:
             "Workload": self.workload,
             "Scheduling Algorithm": self.algorithm,
             "Mean Error (minutes)": round(self.mean_error_minutes, 2),
-            "Percentage of Mean Wait Time": round(self.percent_of_mean_wait),
+            "Percentage of Mean Wait Time": round_half_up(self.percent_of_mean_wait),
         }
 
 
@@ -105,7 +106,7 @@ class RuntimePredictionCell:
             "Workload": self.workload,
             "Predictor": self.predictor,
             "Mean Error (minutes)": round(self.mean_error_minutes, 2),
-            "Percentage of Mean Run Time": round(self.percent_of_mean_run_time),
+            "Percentage of Mean Run Time": round_half_up(self.percent_of_mean_run_time),
         }
 
 
@@ -119,8 +120,7 @@ def _resolve_templates(predictor_name, trace, policy_name, templates):
         return templates
     from repro.predictors.tuned import TUNED_TEMPLATES_BY_ALGORITHM
 
-    base = trace.name.split("x")[0]
-    return TUNED_TEMPLATES_BY_ALGORITHM.get((base, policy_name), None)
+    return TUNED_TEMPLATES_BY_ALGORITHM.get((trace.base_name, policy_name), None)
 
 
 def run_wait_time_experiment(
@@ -246,6 +246,45 @@ def _resolve_traces(
     return traces
 
 
+def _run_table_cells(
+    kind: str,
+    predictor_name: str,
+    workloads,
+    algorithms: Sequence[str],
+    n_jobs: int | None,
+    templates: Iterable[Template] | None,
+    max_workers: int | None,
+    cell_timeout: float | None,
+    retries: int,
+) -> list:
+    """Fan the table's cell grid across processes (``max_workers > 1``).
+
+    Cells come back in the serial drivers' order; any cell that still
+    fails after its retry budget raises
+    :class:`repro.core.parallel.ParallelExecutionError`.
+    """
+    from repro.core.parallel import (
+        ExperimentPlan,
+        ParallelExecutionError,
+        run_table_parallel,
+    )
+
+    plan = ExperimentPlan.for_table(
+        kind,
+        predictor_name,
+        workloads=workloads,
+        algorithms=algorithms,
+        n_jobs=n_jobs,
+        templates=None if templates is None else tuple(templates),
+    )
+    run = run_table_parallel(
+        plan, max_workers=max_workers, timeout=cell_timeout, retries=retries
+    )
+    if run.failures:
+        raise ParallelExecutionError(run.failures)
+    return run.cells
+
+
 def run_wait_time_table(
     predictor_name: str,
     *,
@@ -253,8 +292,20 @@ def run_wait_time_table(
     algorithms: Sequence[str] = ("fcfs", "lwf", "backfill"),
     n_jobs: int | None = None,
     templates: Iterable[Template] | None = None,
+    max_workers: int = 1,
+    cell_timeout: float | None = None,
+    retries: int = 1,
 ) -> list[WaitTimeCell]:
-    """All cells of one of Tables 4-9 (one predictor, all workloads/algos)."""
+    """All cells of one of Tables 4-9 (one predictor, all workloads/algos).
+
+    ``max_workers > 1`` runs the grid on a process pool (see
+    :mod:`repro.core.parallel`); the default serial path is untouched.
+    """
+    if max_workers != 1:
+        return _run_table_cells(
+            "wait-time", predictor_name, workloads, algorithms, n_jobs,
+            templates, max_workers, cell_timeout, retries,
+        )
     cells = []
     for trace in _resolve_traces(workloads, n_jobs):
         for algo in algorithms:
@@ -272,8 +323,20 @@ def run_scheduling_table(
     algorithms: Sequence[str] = ("lwf", "backfill"),
     n_jobs: int | None = None,
     templates: Iterable[Template] | None = None,
+    max_workers: int = 1,
+    cell_timeout: float | None = None,
+    retries: int = 1,
 ) -> list[SchedulingCell]:
-    """All cells of one of Tables 10-15 (one predictor)."""
+    """All cells of one of Tables 10-15 (one predictor).
+
+    ``max_workers > 1`` runs the grid on a process pool (see
+    :mod:`repro.core.parallel`); the default serial path is untouched.
+    """
+    if max_workers != 1:
+        return _run_table_cells(
+            "scheduling", predictor_name, workloads, algorithms, n_jobs,
+            templates, max_workers, cell_timeout, retries,
+        )
     cells = []
     for trace in _resolve_traces(workloads, n_jobs):
         for algo in algorithms:

@@ -1,0 +1,421 @@
+"""Parallel table execution: fan a table's cell grid across processes.
+
+The paper's results are 12 tables of independent (workload, algorithm,
+predictor) replay cells — an embarrassingly parallel grid that
+:mod:`repro.core.experiment` nevertheless walks serially.  This module
+executes an :class:`ExperimentPlan` of :class:`CellSpec` records on a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+- **Determinism.**  Nothing unpicklable crosses the process boundary: a
+  spec names its workload plus the ``(n_jobs, seed, compress)``
+  generation recipe, and each worker regenerates the trace from that —
+  the synthetic generator is seed-deterministic, so every worker sees
+  the identical trace the serial driver would, and a per-process cache
+  rebuilds each distinct trace once no matter how many cells share it.
+- **Stable order.**  Results come back in plan order regardless of
+  completion order, so a parallel table equals the serial one
+  cell-for-cell.
+- **Failure containment.**  A worker exception or per-cell timeout is
+  retried up to ``retries`` times and then recorded as a structured
+  :class:`CellFailure` on the cell's :class:`CellResult` instead of
+  crashing the run.  (A timed-out cell's worker cannot be killed
+  mid-task; it occupies its pool slot until the task returns, so pick
+  timeouts generously.)
+- **Metrics.**  Each cell carries its own registry snapshot;
+  :meth:`TableRun.merged_metrics` folds them with
+  :func:`repro.obs.metrics.merge_snapshots` into one run-level view.
+
+``run_wait_time_table`` / ``run_scheduling_table`` expose this through
+their ``max_workers=`` parameter (default 1 keeps the serial path), the
+CLI through ``--parallel N`` on the grid subcommands.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.experiment import (
+    SchedulingCell,
+    WaitTimeCell,
+    run_scheduling_experiment,
+    run_wait_time_experiment,
+)
+from repro.obs.metrics import merge_snapshots
+from repro.predictors.templates import Template
+from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
+from repro.workloads.job import Trace
+from repro.workloads.transform import compress_interarrival
+
+__all__ = [
+    "CellSpec",
+    "CellFailure",
+    "CellResult",
+    "ExperimentPlan",
+    "TableRun",
+    "ParallelExecutionError",
+    "execute_cell",
+    "run_table_parallel",
+]
+
+#: The two table families of the paper (Tables 4-9 and 10-15).
+CELL_KINDS = ("wait-time", "scheduling")
+
+
+class ParallelExecutionError(RuntimeError):
+    """Raised by the table drivers when parallel cells failed."""
+
+    def __init__(self, failures: Sequence["CellFailure"]) -> None:
+        self.failures = tuple(failures)
+        lines = ", ".join(
+            f"{f.spec.workload}/{f.spec.algorithm}/{f.spec.predictor}"
+            f" ({f.kind} after {f.attempts} attempt(s): {f.error})"
+            for f in self.failures
+        )
+        super().__init__(f"{len(self.failures)} cell(s) failed: {lines}")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One replay cell, described by value so it pickles trivially.
+
+    The trace itself never crosses the process boundary — the worker
+    regenerates it from ``(workload, n_jobs, seed, compress)``, the same
+    recipe :func:`repro.workloads.archive.load_paper_workload` stamps on
+    every generated trace's ``provenance``.
+    """
+
+    kind: str
+    workload: str
+    algorithm: str
+    predictor: str
+    n_jobs: int | None = None
+    seed: int | None = None
+    compress: float = 1.0
+    templates: tuple[Template, ...] | None = None
+    scheduler_predictor: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ValueError(f"kind must be one of {CELL_KINDS}, got {self.kind!r}")
+        if self.workload not in PAPER_WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; expected one of "
+                f"{sorted(PAPER_WORKLOADS)}"
+            )
+        if self.compress <= 0:
+            raise ValueError(f"compress must be positive, got {self.compress}")
+
+    @classmethod
+    def from_trace(
+        cls,
+        kind: str,
+        trace: Trace,
+        algorithm: str,
+        predictor: str,
+        *,
+        templates: tuple[Template, ...] | None = None,
+        scheduler_predictor: str = "max",
+    ) -> "CellSpec":
+        """Describe a cell over an already-loaded paper trace.
+
+        Requires the trace's regeneration ``provenance`` (stamped by
+        :func:`load_paper_workload`; content-changing transforms drop
+        it) — without one, the worker could not rebuild the same trace.
+        """
+        if trace.provenance is None:
+            raise ValueError(
+                f"trace {trace.name!r} has no regeneration provenance; "
+                "pass workload names (or traces from load_paper_workload) "
+                "to the parallel path, or run with max_workers=1"
+            )
+        p = trace.provenance
+        return cls(
+            kind=kind,
+            workload=p["workload"],
+            algorithm=algorithm,
+            predictor=predictor,
+            n_jobs=p.get("n_jobs"),
+            seed=p.get("seed"),
+            compress=p.get("compress", 1.0),
+            templates=templates,
+            scheduler_predictor=scheduler_predictor,
+        )
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that exhausted its attempts, kept as data instead of a crash."""
+
+    spec: CellSpec
+    kind: str  #: "error" (worker raised) or "timeout" (per-cell deadline)
+    error: str
+    attempts: int
+
+
+@dataclass
+class CellResult:
+    """Outcome slot for one planned cell, in plan order."""
+
+    spec: CellSpec
+    index: int
+    cell: WaitTimeCell | SchedulingCell | None = None
+    failure: CellFailure | None = None
+    attempts: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None and self.cell is not None
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """An ordered grid of cells — the unit :func:`run_table_parallel` runs."""
+
+    cells: tuple[CellSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @classmethod
+    def for_table(
+        cls,
+        kind: str,
+        predictor: str,
+        *,
+        workloads: Sequence[str] | Sequence[Trace] | None = None,
+        algorithms: Sequence[str],
+        n_jobs: int | None = None,
+        seed: int | None = None,
+        compress: float = 1.0,
+        templates: tuple[Template, ...] | None = None,
+    ) -> "ExperimentPlan":
+        """The (workload × algorithm) grid of one paper table, in the
+        serial drivers' iteration order (workload outer, algorithm inner)."""
+        if workloads is None:
+            workloads = tuple(PAPER_WORKLOADS)
+        specs: list[CellSpec] = []
+        for w in workloads:
+            for algo in algorithms:
+                if isinstance(w, Trace):
+                    specs.append(
+                        CellSpec.from_trace(
+                            kind, w, algo, predictor, templates=templates
+                        )
+                    )
+                else:
+                    specs.append(
+                        CellSpec(
+                            kind=kind,
+                            workload=w,
+                            algorithm=algo,
+                            predictor=predictor,
+                            n_jobs=n_jobs,
+                            seed=seed,
+                            compress=compress,
+                            templates=templates,
+                        )
+                    )
+        return cls(cells=tuple(specs))
+
+    @classmethod
+    def for_grid(
+        cls,
+        kind: str,
+        *,
+        workloads: Sequence[str],
+        algorithms: Sequence[str],
+        predictors: Sequence[str],
+        n_jobs: int | None = None,
+        seed: int | None = None,
+        compress: float = 1.0,
+    ) -> "ExperimentPlan":
+        """A multi-predictor grid in the CLI's row order
+        (workload → algorithm → predictor)."""
+        return cls(
+            cells=tuple(
+                CellSpec(
+                    kind=kind,
+                    workload=w,
+                    algorithm=a,
+                    predictor=p,
+                    n_jobs=n_jobs,
+                    seed=seed,
+                    compress=compress,
+                )
+                for w in workloads
+                for a in algorithms
+                for p in predictors
+            )
+        )
+
+
+@dataclass
+class TableRun:
+    """Every planned cell's outcome, in plan order."""
+
+    results: list[CellResult] = field(default_factory=list)
+
+    @property
+    def cells(self) -> list[WaitTimeCell | SchedulingCell]:
+        """Successful cells in plan order."""
+        return [r.cell for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> list[CellFailure]:
+        return [r.failure for r in self.results if r.failure is not None]
+
+    def merged_metrics(self) -> dict:
+        """One run-level registry snapshot folded from every cell's."""
+        return merge_snapshots(
+            *(r.cell.metrics for r in self.results if r.ok and r.cell.metrics)
+        )
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: Per-process trace cache: workers are reused across cells, and every
+#: cell of a table shares its workload's trace with up to two others.
+_TRACE_CACHE: dict[tuple, Trace] = {}
+
+
+def _cell_trace(spec: CellSpec) -> Trace:
+    key = (spec.workload, spec.n_jobs, spec.seed, spec.compress)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = load_paper_workload(spec.workload, n_jobs=spec.n_jobs, seed=spec.seed)
+        if spec.compress != 1.0:
+            trace = compress_interarrival(trace, spec.compress)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def execute_cell(spec: CellSpec) -> WaitTimeCell | SchedulingCell:
+    """Run one cell from scratch — the function shipped to pool workers.
+
+    Also usable inline: ``execute_cell(spec)`` in the parent process is
+    exactly one serial-driver cell.
+    """
+    trace = _cell_trace(spec)
+    if spec.kind == "wait-time":
+        cell, _, _ = run_wait_time_experiment(
+            trace,
+            spec.algorithm,
+            spec.predictor,
+            templates=spec.templates,
+            scheduler_predictor=spec.scheduler_predictor,
+        )
+        return cell
+    cell, _ = run_scheduling_experiment(
+        trace, spec.algorithm, spec.predictor, templates=spec.templates
+    )
+    return cell
+
+
+# ----------------------------------------------------------------------
+# driver side
+# ----------------------------------------------------------------------
+def run_table_parallel(
+    plan: ExperimentPlan,
+    *,
+    max_workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 1,
+    cell_fn: Callable[[CellSpec], WaitTimeCell | SchedulingCell] | None = None,
+) -> TableRun:
+    """Execute every cell of ``plan`` across a process pool.
+
+    ``timeout`` is a per-cell wall-clock deadline measured from the
+    moment the cell's task is handed to a free worker (submission is
+    throttled to pool width, so queue time never counts).  A raising or
+    timed-out cell is retried up to ``retries`` more times; when the
+    budget is exhausted its :class:`CellResult` carries a
+    :class:`CellFailure` and the run continues.  ``cell_fn`` swaps the
+    worker entry point (it must be a picklable module-level callable) —
+    the failure-path tests inject crashes and stalls through it.
+
+    Results are returned in plan order regardless of completion order.
+    """
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    fn = cell_fn if cell_fn is not None else execute_cell
+
+    run = TableRun(results=[CellResult(spec, i) for i, spec in enumerate(plan.cells)])
+    queue: deque[int] = deque(range(len(plan.cells)))
+    in_flight: dict[Future, tuple[int, float]] = {}
+    abandoned = False
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        while queue or in_flight:
+            # Throttle submission to pool width so a task's deadline
+            # starts when a worker actually picks it up.
+            while queue and len(in_flight) < max_workers:
+                index = queue.popleft()
+                result = run.results[index]
+                result.attempts += 1
+                future = pool.submit(fn, result.spec)
+                in_flight[future] = (index, time.monotonic())
+
+            done, _ = wait(
+                in_flight,
+                timeout=None if timeout is None else min(timeout / 4, 0.05),
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                index, started = in_flight.pop(future)
+                result = run.results[index]
+                result.duration_s = time.monotonic() - started
+                try:
+                    result.cell = future.result()
+                    result.failure = None
+                except BrokenProcessPool:
+                    raise
+                except Exception as exc:
+                    if result.attempts <= retries:
+                        queue.append(index)
+                    else:
+                        result.failure = CellFailure(
+                            spec=result.spec,
+                            kind="error",
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=result.attempts,
+                        )
+
+            if timeout is not None:
+                now = time.monotonic()
+                for future, (index, started) in list(in_flight.items()):
+                    if now - started < timeout:
+                        continue
+                    # The worker can't be interrupted mid-task; drop the
+                    # future and let the task run its slot dry.
+                    future.cancel()
+                    in_flight.pop(future)
+                    abandoned = True
+                    result = run.results[index]
+                    result.duration_s = now - started
+                    if result.attempts <= retries:
+                        queue.append(index)
+                    else:
+                        result.failure = CellFailure(
+                            spec=result.spec,
+                            kind="timeout",
+                            error=f"cell exceeded {timeout}s",
+                            attempts=result.attempts,
+                        )
+    finally:
+        # With abandoned (timed-out) tasks still running, a blocking
+        # shutdown would wait for them; detach instead — the workers
+        # exit once those tasks finish.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+    return run

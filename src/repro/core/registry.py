@@ -69,8 +69,10 @@ def make_predictor(
             return SmithPredictor(templates)
         from repro.predictors.tuned import TUNED_TEMPLATES
 
-        base_name = trace.name.split("x")[0]  # compressed traces: "SDSC95x2"
-        tuned = TUNED_TEMPLATES.get(base_name)
+        # Compressed traces ("SDSC95x2") carry their workload identity
+        # explicitly; parsing the display name would misread any base
+        # name that itself contains an "x".
+        tuned = TUNED_TEMPLATES.get(trace.base_name)
         if tuned is not None:
             return SmithPredictor(tuned)
         return SmithPredictor.for_trace(trace)

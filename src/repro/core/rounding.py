@@ -1,0 +1,28 @@
+"""Half-up rounding for the paper's integer table columns.
+
+Python's built-in :func:`round` implements banker's rounding
+(``round(86.5) == 86``), but the paper's tables — like essentially every
+hand-rounded table — round halves away from zero (``86.5`` prints as
+``87``).  Reproduced integer percent columns therefore go through
+:func:`round_half_up` so a cell landing exactly on ``.5`` matches the
+published digit.
+"""
+
+from __future__ import annotations
+
+from decimal import ROUND_HALF_UP, Decimal
+
+__all__ = ["round_half_up"]
+
+
+def round_half_up(value: float, ndigits: int = 0) -> int | float:
+    """Round ``value`` to ``ndigits`` decimals, halves away from zero.
+
+    Returns an ``int`` for ``ndigits <= 0`` (the table columns' case)
+    and a ``float`` otherwise.  The value is routed through its decimal
+    string repr, so ``86.5`` — which the binary float stores exactly —
+    rounds on its printed digits, not on binary artifacts.
+    """
+    quantum = Decimal(1).scaleb(-ndigits)
+    rounded = Decimal(str(value)).quantize(quantum, rounding=ROUND_HALF_UP)
+    return int(rounded) if ndigits <= 0 else float(rounded)

@@ -21,6 +21,7 @@ the sink is disabled.
 
 from __future__ import annotations
 
+import io
 import json
 import time
 from typing import IO, Any, Protocol, runtime_checkable
@@ -84,10 +85,24 @@ class JsonlSink:
     guarantees the flush-on-close.
 
     Events are buffered (``buffer_lines`` at a time) and each flush
-    hands the file exactly one chunk of *complete* lines followed by an
-    immediate ``flush()`` of the handle — so a process killed mid-replay
-    leaves a trace of whole, schema-valid lines (the tail of the buffer
-    may be lost, but no line is ever truncated by the sink).
+    hands the file exactly one chunk of *complete* lines — so a process
+    killed mid-replay leaves a trace of whole, schema-valid lines (the
+    tail of the buffer may be lost, but no line is ever truncated by the
+    sink).  For that guarantee to survive SIGKILL the chunk must reach
+    the OS in one piece: a path-owned handle is opened **unbuffered
+    binary** (``buffering=0``) so each flush is a single ``os.write`` —
+    Python's buffered text layer would spill its ~8 KiB blocks without
+    regard for line boundaries, and a kill landing between a partial
+    spill and ``flush()`` truncates a line mid-byte.  Caller-supplied
+    text handles (e.g. ``StringIO``) keep their own buffering semantics;
+    the kill guarantee then depends on the handle.
+
+    One tear is beyond userland control: the kernel's write path checks
+    for fatal signals at page boundaries, so a SIGKILL can truncate the
+    in-flight write itself.  Because each flush is a single in-order
+    write, that can only ever leave one unterminated *final* line —
+    readers recovering a killed trace should drop a tail fragment that
+    lacks its newline and keep the (always-valid) lines before it.
     """
 
     enabled = True
@@ -96,11 +111,13 @@ class JsonlSink:
         if buffer_lines < 1:
             raise ValueError(f"buffer_lines must be >= 1, got {buffer_lines}")
         if hasattr(target, "write"):
-            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._fh: IO = target  # type: ignore[assignment]
             self._owns = False
+            self._binary = isinstance(target, (io.RawIOBase, io.BufferedIOBase))
         else:
-            self._fh = open(target, "w", encoding="utf-8")
+            self._fh = open(target, "wb", buffering=0)
             self._owns = True
+            self._binary = True
         self._buffer: list[str] = []
         self._buffer_lines = buffer_lines
         self.events_written = 0
@@ -116,8 +133,12 @@ class JsonlSink:
     def flush(self) -> None:
         """Write buffered events as one whole-lines chunk and flush."""
         if self._buffer:
-            self._fh.write("\n".join(self._buffer) + "\n")
+            chunk = "\n".join(self._buffer) + "\n"
             self._buffer.clear()
+            if self._binary:
+                self._fh.write(chunk.encode("utf-8"))
+            else:
+                self._fh.write(chunk)
         self._fh.flush()
 
     def close(self) -> None:

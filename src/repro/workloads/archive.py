@@ -118,4 +118,13 @@ def load_paper_workload(
         spec, seed=seed if seed is not None else _WORKLOAD_SEEDS[name], n_jobs=n_jobs
     )
     trace.available_fields = WORKLOAD_FIELDS[name].available
+    # The regeneration recipe: this exact call reproduces the trace
+    # bit-for-bit, which is how parallel table workers rebuild their
+    # cell's trace instead of pickling it across the process boundary.
+    trace.provenance = {
+        "workload": name,
+        "n_jobs": n_jobs,
+        "seed": seed,
+        "compress": 1.0,
+    }
     return trace

@@ -14,10 +14,31 @@ durations in seconds.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
-__all__ = ["Job", "Trace"]
+__all__ = ["Job", "Trace", "split_scaled_name"]
+
+#: Scale suffixes produced by :func:`repro.workloads.transform.
+#: compress_interarrival` — "SDSC95x2", "CTCx1.5".  The suffix must be a
+#: plain decimal number; anything else is part of the base name.
+_SCALE_SUFFIX = re.compile(r"^\d+(\.\d+)?$")
+
+
+def split_scaled_name(name: str) -> tuple[str, float]:
+    """Split a possibly scale-suffixed trace name into (base, factor).
+
+    ``"SDSC95x2"`` → ``("SDSC95", 2.0)``; a name whose last ``"x"`` is
+    not followed by a plain decimal number — ``"xenon"``, ``"proxy"``,
+    ``"matrix"`` — is returned unchanged with factor 1.0.  Prefer the
+    explicit :attr:`Trace.base_name` / :attr:`Trace.scale` attributes;
+    this parser is only the fallback for hand-assembled names.
+    """
+    base, sep, suffix = name.rpartition("x")
+    if sep and base and _SCALE_SUFFIX.match(suffix):
+        return base, float(suffix)
+    return name, 1.0
 
 
 @dataclass(frozen=True)
@@ -70,6 +91,17 @@ class Trace:
     ``total_nodes`` is the size of the machine the trace was recorded on
     (after any correction — the paper shrinks ANL from 120 to 80 nodes to
     compensate for the missing third of its trace).
+
+    ``base_name``/``scale`` identify the underlying workload when the
+    trace is a transformed variant ("SDSC95x2" → base "SDSC95", scale 2):
+    generators and :func:`repro.workloads.transform.compress_interarrival`
+    stamp them explicitly, and lookups keyed by workload (tuned template
+    sets, paper references) should use ``base_name`` rather than parsing
+    the display name.  When not given they are derived from ``name`` via
+    :func:`split_scaled_name`.  ``provenance``, when set by
+    :func:`repro.workloads.archive.load_paper_workload`, records the
+    ``(workload, n_jobs, seed, compress)`` recipe that regenerates the
+    trace bit-for-bit — content-changing transforms drop it.
     """
 
     def __init__(
@@ -79,6 +111,8 @@ class Trace:
         total_nodes: int,
         name: str = "trace",
         available_fields: frozenset[str] | None = None,
+        base_name: str | None = None,
+        scale: float | None = None,
     ) -> None:
         if total_nodes < 1:
             raise ValueError(f"total_nodes must be >= 1, got {total_nodes}")
@@ -96,6 +130,13 @@ class Trace:
         self.total_nodes = total_nodes
         self.name = name
         self.available_fields = available_fields
+        if base_name is None or scale is None:
+            parsed_base, parsed_scale = split_scaled_name(name)
+            base_name = base_name if base_name is not None else parsed_base
+            scale = scale if scale is not None else parsed_scale
+        self.base_name = base_name
+        self.scale = scale
+        self.provenance: dict | None = None
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -130,6 +171,8 @@ class Trace:
             total_nodes=self.total_nodes,
             name=name or self.name,
             available_fields=self.available_fields,
+            base_name=self.base_name if name is None else None,
+            scale=self.scale if name is None else None,
         )
 
     def filter(self, pred: Callable[[Job], bool], *, name: str | None = None) -> "Trace":
@@ -139,6 +182,8 @@ class Trace:
             total_nodes=self.total_nodes,
             name=name or self.name,
             available_fields=self.available_fields,
+            base_name=self.base_name if name is None else None,
+            scale=self.scale if name is None else None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

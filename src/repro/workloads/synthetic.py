@@ -374,4 +374,10 @@ def generate_trace(
                 max_run_time=max_rts[i],
             )
         )
-    return Trace(jobs, total_nodes=spec.total_nodes, name=spec.name)
+    return Trace(
+        jobs,
+        total_nodes=spec.total_nodes,
+        name=spec.name,
+        base_name=spec.name,
+        scale=1.0,
+    )

@@ -34,6 +34,16 @@ def compress_interarrival(trace: Trace, factor: float, *, name: str | None = Non
         lambda j: j.with_(submit_time=t0 + (j.submit_time - t0) / factor),
         name=name or f"{trace.name}x{factor:g}",
     )
+    # The variant keeps the source's workload identity: lookups keyed by
+    # workload (tuned templates, paper references) must not parse the
+    # display name, which may itself contain an "x".
+    out.base_name = trace.base_name
+    out.scale = trace.scale * factor
+    if trace.provenance is not None:
+        out.provenance = dict(
+            trace.provenance,
+            compress=trace.provenance.get("compress", 1.0) * factor,
+        )
     return out
 
 

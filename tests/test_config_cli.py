@@ -38,6 +38,10 @@ class TestExperimentConfig:
         with pytest.raises(ValueError):
             ExperimentConfig(compress=-1.0)
 
+    def test_bad_parallel(self):
+        with pytest.raises(ValueError, match="parallel"):
+            ExperimentConfig(parallel=0)
+
     def test_dict_roundtrip(self):
         cfg = ExperimentConfig(workloads=("ANL",), predictors=("actual",))
         assert ExperimentConfig.from_dict(cfg.as_dict()) == cfg
@@ -88,6 +92,28 @@ class TestRunConfig:
         rows = run_config(cfg)
         assert rows[0]["Mean Error (minutes)"] == pytest.approx(0.0, abs=1e-6)
 
+    def test_parallel_rows_equal_serial(self):
+        serial = ExperimentConfig(
+            workloads=("ANL",), algorithms=("lwf", "backfill"),
+            predictors=("actual", "max"), n_jobs=120,
+        )
+        parallel = ExperimentConfig(
+            workloads=("ANL",), algorithms=("lwf", "backfill"),
+            predictors=("actual", "max"), n_jobs=120, parallel=2,
+        )
+        assert run_config(parallel) == run_config(serial)
+
+    def test_parallel_wait_time_rows_equal_serial(self):
+        serial = ExperimentConfig(
+            kind="wait-time", workloads=("ANL",), algorithms=("fcfs",),
+            predictors=("actual",), n_jobs=120,
+        )
+        parallel = ExperimentConfig(
+            kind="wait-time", workloads=("ANL",), algorithms=("fcfs",),
+            predictors=("actual",), n_jobs=120, parallel=2,
+        )
+        assert run_config(parallel) == run_config(serial)
+
     def test_compress_applied(self):
         base = ExperimentConfig(
             workloads=("SDSC95",), algorithms=("lwf",),
@@ -110,6 +136,27 @@ class TestCLI:
         )
         assert args.command == "scheduling"
         assert args.workloads == ["ANL"]
+        assert args.parallel == 1
+
+    def test_parallel_flag_parsed(self):
+        args = build_parser().parse_args(["scheduling", "--parallel", "4"])
+        assert args.parallel == 4
+
+    def test_main_scheduling_parallel(self, capsys):
+        rc = main(
+            [
+                "scheduling",
+                "--workloads", "ANL",
+                "--algorithms", "lwf",
+                "--predictors", "actual",
+                "--n-jobs", "120",
+                "--parallel", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ANL" in out
+        assert "Utilization" in out
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,262 @@
+"""Parallel table execution: serial↔parallel parity and failure paths.
+
+The injected cell functions live at module level so they pickle by
+reference into pool workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.experiment import (
+    run_scheduling_table,
+    run_wait_time_table,
+)
+from repro.core.parallel import (
+    CellSpec,
+    ExperimentPlan,
+    ParallelExecutionError,
+    execute_cell,
+    run_table_parallel,
+)
+from repro.obs.metrics import merge_snapshots
+
+#: Small enough that the whole grid replays in a couple of seconds.
+N_JOBS = 60
+
+WORKLOADS = ["ANL", "SDSC95"]
+ALGORITHMS = ("lwf", "backfill")
+
+
+# ----------------------------------------------------------------------
+# injected cell functions (module-level: shipped to workers by name)
+# ----------------------------------------------------------------------
+def _raise_for_lwf(spec: CellSpec):
+    if spec.algorithm == "lwf":
+        raise RuntimeError("injected failure")
+    return execute_cell(spec)
+
+
+def _always_raise(spec: CellSpec):
+    raise ValueError(f"cell {spec.workload}/{spec.algorithm} always fails")
+
+
+def _stall(spec: CellSpec):
+    time.sleep(3.0)
+    return execute_cell(spec)
+
+
+def _fail_first_attempt(spec: CellSpec):
+    """Raise on the first call per cell, succeed on the retry.
+
+    Cross-process state goes through a marker file in the directory the
+    test exports via ``REPRO_TEST_FLAKY_DIR`` before the pool forks.
+    """
+    marker = os.path.join(
+        os.environ["REPRO_TEST_FLAKY_DIR"],
+        f"{spec.workload}-{spec.algorithm}-{spec.predictor}",
+    )
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError("first attempt fails")
+    return execute_cell(spec)
+
+
+# ----------------------------------------------------------------------
+# parity
+# ----------------------------------------------------------------------
+class TestParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_scheduling_table_parity(self, workers):
+        serial = run_scheduling_table(
+            "actual", workloads=WORKLOADS, algorithms=ALGORITHMS, n_jobs=N_JOBS
+        )
+        parallel = run_scheduling_table(
+            "actual",
+            workloads=WORKLOADS,
+            algorithms=ALGORITHMS,
+            n_jobs=N_JOBS,
+            max_workers=workers,
+        )
+        # Dataclass equality *and* identical (stable) ordering.
+        assert parallel == serial
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_wait_time_table_parity(self, workers):
+        serial = run_wait_time_table(
+            "max", workloads=["ANL"], algorithms=("fcfs", "lwf"), n_jobs=N_JOBS
+        )
+        parallel = run_wait_time_table(
+            "max",
+            workloads=["ANL"],
+            algorithms=("fcfs", "lwf"),
+            n_jobs=N_JOBS,
+            max_workers=workers,
+        )
+        assert parallel == serial
+
+    def test_trace_objects_with_provenance(self):
+        from repro.workloads.archive import load_paper_workload
+
+        trace = load_paper_workload("SDSC95", n_jobs=N_JOBS)
+        serial = run_scheduling_table("actual", workloads=[trace], algorithms=("lwf",))
+        parallel = run_scheduling_table(
+            "actual", workloads=[trace], algorithms=("lwf",), max_workers=2
+        )
+        assert parallel == serial
+
+    def test_trace_without_provenance_rejected(self, small_trace):
+        with pytest.raises(ValueError, match="provenance"):
+            run_scheduling_table(
+                "actual", workloads=[small_trace], algorithms=("lwf",), max_workers=2
+            )
+
+    def test_merged_metrics_equal_sum_of_cell_snapshots(self):
+        plan = ExperimentPlan.for_table(
+            "scheduling",
+            "actual",
+            workloads=WORKLOADS,
+            algorithms=ALGORITHMS,
+            n_jobs=N_JOBS,
+        )
+        run = run_table_parallel(plan, max_workers=2)
+        assert not run.failures
+        expected = merge_snapshots(*(c.metrics for c in run.cells))
+        merged = run.merged_metrics()
+        assert merged["counters"] == expected["counters"]
+        assert merged["histograms"] == expected["histograms"]
+
+    def test_parallel_metrics_totals_match_serial(self):
+        serial = run_scheduling_table(
+            "actual", workloads=WORKLOADS, algorithms=ALGORITHMS, n_jobs=N_JOBS
+        )
+        plan = ExperimentPlan.for_table(
+            "scheduling",
+            "actual",
+            workloads=WORKLOADS,
+            algorithms=ALGORITHMS,
+            n_jobs=N_JOBS,
+        )
+        run = run_table_parallel(plan, max_workers=4)
+        serial_counters = merge_snapshots(*(c.metrics for c in serial))["counters"]
+        assert run.merged_metrics()["counters"] == serial_counters
+
+
+# ----------------------------------------------------------------------
+# plan / spec construction
+# ----------------------------------------------------------------------
+class TestPlan:
+    def test_plan_orders_workload_outer_algorithm_inner(self):
+        plan = ExperimentPlan.for_table(
+            "scheduling", "max", workloads=["ANL", "CTC"], algorithms=("lwf", "backfill")
+        )
+        assert [(s.workload, s.algorithm) for s in plan.cells] == [
+            ("ANL", "lwf"),
+            ("ANL", "backfill"),
+            ("CTC", "lwf"),
+            ("CTC", "backfill"),
+        ]
+
+    def test_grid_plan_matches_cli_row_order(self):
+        plan = ExperimentPlan.for_grid(
+            "scheduling",
+            workloads=("ANL", "CTC"),
+            algorithms=("lwf",),
+            predictors=("actual", "max"),
+        )
+        assert [(s.workload, s.predictor) for s in plan.cells] == [
+            ("ANL", "actual"),
+            ("ANL", "max"),
+            ("CTC", "actual"),
+            ("CTC", "max"),
+        ]
+
+    def test_spec_validates(self):
+        with pytest.raises(ValueError, match="kind"):
+            CellSpec("tables", "ANL", "lwf", "max")
+        with pytest.raises(ValueError, match="workload"):
+            CellSpec("scheduling", "NERSC", "lwf", "max")
+
+    def test_execute_cell_inline_equals_serial_driver(self):
+        spec = CellSpec("scheduling", "ANL", "lwf", "actual", n_jobs=N_JOBS)
+        [serial] = run_scheduling_table(
+            "actual", workloads=["ANL"], algorithms=("lwf",), n_jobs=N_JOBS
+        )
+        assert execute_cell(spec) == serial
+
+
+# ----------------------------------------------------------------------
+# failure paths
+# ----------------------------------------------------------------------
+class TestFailures:
+    def _plan(self, algorithms=ALGORITHMS):
+        return ExperimentPlan.for_table(
+            "scheduling",
+            "actual",
+            workloads=["ANL"],
+            algorithms=algorithms,
+            n_jobs=N_JOBS,
+        )
+
+    def test_worker_exception_becomes_cell_failure(self):
+        run = run_table_parallel(
+            self._plan(), max_workers=2, retries=0, cell_fn=_raise_for_lwf
+        )
+        by_algo = {r.spec.algorithm: r for r in run.results}
+        assert by_algo["backfill"].ok  # the healthy cell still completed
+        failed = by_algo["lwf"]
+        assert not failed.ok
+        assert failed.failure.kind == "error"
+        assert "injected failure" in failed.failure.error
+        assert failed.failure.attempts == 1
+        # The run as a whole survives: one result slot per planned cell.
+        assert len(run.results) == 2
+        assert len(run.failures) == 1
+
+    def test_retry_budget_is_bounded(self):
+        run = run_table_parallel(
+            self._plan(("lwf",)), max_workers=1, retries=2, cell_fn=_always_raise
+        )
+        [result] = run.results
+        assert result.failure is not None
+        assert result.failure.attempts == 3  # initial try + 2 retries
+        assert result.attempts == 3
+
+    def test_retry_then_succeed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAKY_DIR", str(tmp_path))
+        run = run_table_parallel(
+            self._plan(("lwf",)), max_workers=1, retries=1, cell_fn=_fail_first_attempt
+        )
+        [result] = run.results
+        assert result.ok
+        assert result.attempts == 2
+        [serial] = run_scheduling_table(
+            "actual", workloads=["ANL"], algorithms=("lwf",), n_jobs=N_JOBS
+        )
+        assert result.cell == serial
+
+    def test_timeout_becomes_cell_failure(self):
+        run = run_table_parallel(
+            self._plan(("lwf",)),
+            max_workers=1,
+            timeout=0.4,
+            retries=0,
+            cell_fn=_stall,
+        )
+        [result] = run.results
+        assert not result.ok
+        assert result.failure.kind == "timeout"
+        assert result.duration_s >= 0.4
+
+    def test_table_driver_raises_on_failures(self):
+        plan_error = ParallelExecutionError(
+            run_table_parallel(
+                self._plan(("lwf",)), max_workers=1, retries=0, cell_fn=_always_raise
+            ).failures
+        )
+        assert "lwf" in str(plan_error)
+        assert plan_error.failures[0].kind == "error"

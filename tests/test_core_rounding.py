@@ -1,0 +1,57 @@
+"""Half-up rounding for the paper's integer table columns."""
+
+from __future__ import annotations
+
+from repro.core.experiment import RuntimePredictionCell, WaitTimeCell
+from repro.core.rounding import round_half_up
+
+
+class TestRoundHalfUp:
+    def test_halves_round_up_not_to_even(self):
+        # Bare round() is banker's rounding: round(86.5) == 86.
+        assert round_half_up(86.5) == 87
+        assert round_half_up(87.5) == 88
+        assert round_half_up(0.5) == 1
+        assert round_half_up(1.5) == 2
+        assert round_half_up(2.5) == 3
+
+    def test_negative_halves_round_away_from_zero(self):
+        assert round_half_up(-0.5) == -1
+        assert round_half_up(-86.5) == -87
+
+    def test_non_halves_unchanged(self):
+        assert round_half_up(86.4) == 86
+        assert round_half_up(86.6) == 87
+        assert round_half_up(0.0) == 0
+
+    def test_integer_digits_return_int(self):
+        assert isinstance(round_half_up(86.5), int)
+
+    def test_fractional_digits(self):
+        assert round_half_up(2.345, 2) == 2.35
+        assert round_half_up(2.5, 1) == 2.5
+        assert isinstance(round_half_up(2.345, 2), float)
+
+
+class TestTableRowsUseHalfUp:
+    def test_wait_time_percent_column(self):
+        cell = WaitTimeCell(
+            workload="ANL",
+            algorithm="LWF",
+            predictor="max",
+            mean_error_minutes=10.0,
+            percent_of_mean_wait=86.5,
+            mean_wait_minutes=12.0,
+            n_jobs=100,
+        )
+        assert cell.as_row()["Percentage of Mean Wait Time"] == 87
+
+    def test_runtime_prediction_percent_column(self):
+        cell = RuntimePredictionCell(
+            workload="CTC",
+            predictor="smith",
+            mean_error_minutes=40.0,
+            percent_of_mean_run_time=42.5,
+            n_jobs=100,
+        )
+        assert cell.as_row()["Percentage of Mean Run Time"] == 43

@@ -108,3 +108,68 @@ class TestTrace:
 
     def test_jobs_tuple_is_immutable_view(self, small_trace):
         assert isinstance(small_trace.jobs, tuple)
+
+
+class TestScaledNames:
+    """base_name/scale attributes and the strict name-suffix fallback.
+
+    Regression: ``name.split("x")[0]`` misparsed any workload whose base
+    name contains an "x" ("proxy" -> "pro").
+    """
+
+    def test_split_scaled_name(self):
+        from repro.workloads.job import split_scaled_name
+
+        assert split_scaled_name("SDSC95x2") == ("SDSC95", 2.0)
+        assert split_scaled_name("CTCx1.5") == ("CTC", 1.5)
+        assert split_scaled_name("proxy") == ("proxy", 1.0)
+        assert split_scaled_name("matrix") == ("matrix", 1.0)
+        assert split_scaled_name("xenon") == ("xenon", 1.0)
+        assert split_scaled_name("x2") == ("x2", 1.0)  # no base before the x
+
+    def test_trace_derives_base_name_from_name(self):
+        trace = Trace([make_job()], total_nodes=8, name="SDSC95x2")
+        assert trace.base_name == "SDSC95"
+        assert trace.scale == 2.0
+
+    def test_x_containing_name_not_mangled(self):
+        trace = Trace([make_job()], total_nodes=8, name="proxy-cluster")
+        assert trace.base_name == "proxy-cluster"
+        assert trace.scale == 1.0
+
+    def test_explicit_stamp_wins_over_parsing(self):
+        trace = Trace(
+            [make_job()], total_nodes=8, name="weird x2 label",
+            base_name="weird", scale=3.0,
+        )
+        assert trace.base_name == "weird"
+        assert trace.scale == 3.0
+
+    def test_map_and_filter_propagate_identity(self):
+        trace = Trace(
+            [make_job()], total_nodes=8, name="SDSC95x2",
+            base_name="SDSC95", scale=2.0,
+        )
+        assert trace.map(lambda j: j).base_name == "SDSC95"
+        assert trace.filter(lambda j: True).scale == 2.0
+
+    def test_compress_stamps_identity_not_parse(self):
+        from repro.workloads.transform import compress_interarrival
+
+        jobs = [make_job(job_id=i, submit_time=100.0 * i) for i in range(3)]
+        trace = Trace(jobs, total_nodes=8, name="flux")
+        compressed = compress_interarrival(trace, 2)
+        assert compressed.name == "fluxx2"
+        assert compressed.base_name == "flux"  # rpartition would say "flux" too,
+        assert compressed.scale == 2.0         # but only because it's stamped
+
+    def test_tuned_predictor_resolves_compressed_trace(self):
+        """make_predictor must key tuned templates on base_name."""
+        from repro.core.registry import make_predictor
+        from repro.workloads.archive import load_paper_workload
+        from repro.workloads.transform import compress_interarrival
+
+        trace = compress_interarrival(load_paper_workload("SDSC95", n_jobs=40), 2)
+        assert trace.base_name == "SDSC95"
+        predictor = make_predictor("smith-tuned", trace)
+        assert predictor is not None
