@@ -1,0 +1,164 @@
+"""Misprediction cost and online learning — the accuracy/schedule loop.
+
+Two halves of one question the paper leaves implicit (and Mitzenmacher's
+"price of misprediction" makes explicit): how much schedule quality does
+run-time prediction error cost, and how much of that error can a
+predictor that keeps learning online claw back?
+
+1. The degradation curve: the run-time oracle wrapped in controlled
+   log-normal error, replayed through Backfill and EASY at a ladder of
+   error levels.  Level 0 is bit-identical to the plain oracle (asserted
+   in tests/test_misprediction.py); here we assert the *shape* — injected
+   error grows with level, and large error visibly degrades mean wait.
+
+2. Adaptive predictors vs. Smith: the streaming online learners of
+   repro.predictors.adaptive against the paper's Smith predictor and
+   against a *frozen* Smith (warm-started on a prefix, history frozen —
+   what deploying a trained-offline model looks like).  Online beats
+   frozen nearly everywhere; the best online learner beats even the
+   live Smith on at least one workload.
+"""
+
+from __future__ import annotations
+
+from _common import (
+    WORKLOAD_ORDER,
+    bench_parallel,
+    bench_trace,
+    emit_bench_json,
+    run_once,
+)
+
+from repro.core.registry import make_predictor
+from repro.core.tables import format_table
+from repro.experiments.misprediction import run_misprediction_campaign
+from repro.predictors.base import Prediction, RuntimePredictor, warm_start
+from repro.predictors.replay import replay_prediction_error
+from repro.predictors.smith import SmithPredictor
+from repro.predictors.templates import default_templates
+from repro.workloads.job import Job
+
+#: Error ladder for the degradation curve: the exact-oracle anchor plus
+#: moderate and severe misprediction (sigma of the log-normal factor).
+LEVELS = (0.0, 0.5, 1.0, 2.0)
+
+ADAPTIVE = ("online-mean", "online-rls", "decayed-mean")
+
+
+def test_misprediction_degradation_curve(benchmark):
+    curves = run_once(
+        benchmark,
+        run_misprediction_campaign,
+        workloads=[bench_trace("ANL")],
+        algorithms=("backfill", "easy"),
+        levels=LEVELS,
+        max_workers=bench_parallel(),
+    )
+    rows = []
+    for curve in curves:
+        rows.extend(curve.rows())
+        print()
+        print(
+            format_table(
+                curve.rows(),
+                title=f"misprediction degradation ({curve.workload}, {curve.algorithm})",
+            )
+        )
+    emit_bench_json({"misprediction_degradation": rows})
+
+    worst_degradation = 0.0
+    for curve in curves:
+        maes = [c.injected_mae_minutes for c in curve.cells]
+        # The injected error is the one asked for: zero at the anchor,
+        # strictly growing with the level.
+        assert maes[0] == 0.0
+        assert maes == sorted(maes) and maes[-1] > maes[0]
+        # Noise only redistributes estimates; it cannot improve on the
+        # oracle by more than scheduling happenstance.  (Small *gains*
+        # at low levels are real — lucky overestimates open backfill
+        # holes — so no per-level monotonicity is asserted.)
+        deg = curve.degradation_percent(curve.cells[-1])
+        if deg is not None:
+            worst_degradation = max(worst_degradation, deg)
+    # Severe misprediction (sigma = 2, i.e. typical errors of ~7x) must
+    # visibly hurt at least one policy's mean wait.
+    assert worst_degradation > 10.0
+
+
+class _FrozenPredictor(RuntimePredictor):
+    """A predictor with its learning switched off: deploy-what-you-trained.
+
+    Forwards ``predict`` and inherits the no-op lifecycle hooks, so the
+    wrapped model never sees another completion — the offline-training
+    regime every online learner in this bench is up against.
+    """
+
+    def __init__(self, base: RuntimePredictor) -> None:
+        self.base = base
+        self.name = f"frozen-{base.name}"
+        self.elapsed_invariant = base.elapsed_invariant
+
+    history_epoch = 0  # constant: frozen history never changes
+
+    def predict(self, job: Job, elapsed: float = 0.0, now: float = 0.0) -> Prediction | None:
+        return self.base.predict(job, elapsed, now)
+
+
+def _frozen_smith(trace):
+    """Smith warm-started on the first fifth of the trace, then frozen."""
+    has_max = any(j.max_run_time is not None for j in trace)
+    smith = SmithPredictor(
+        default_templates(trace.available_fields, has_max_run_time=has_max)
+    )
+    prefix = list(trace)[: max(len(trace) // 5, 1)]
+    return _FrozenPredictor(warm_start(smith, prefix))
+
+
+def _mae_grid():
+    grid: dict[str, dict[str, float]] = {}
+    for w in WORKLOAD_ORDER:
+        trace = bench_trace(w)
+        row = {}
+        for name in ("smith",) + ADAPTIVE:
+            report = replay_prediction_error(trace, make_predictor(name, trace))
+            row[name] = report.mean_abs_error_minutes
+        row["frozen-smith"] = replay_prediction_error(
+            trace, _frozen_smith(trace)
+        ).mean_abs_error_minutes
+        grid[w] = row
+    return grid
+
+
+def test_adaptive_predictors_vs_frozen_smith(benchmark):
+    grid = run_once(benchmark, _mae_grid)
+    rows = [
+        {"Workload": w, **{k: round(v, 1) for k, v in row.items()}}
+        for w, row in grid.items()
+    ]
+    print()
+    print(
+        format_table(
+            rows, title="run-time prediction MAE (minutes): online vs. Smith"
+        )
+    )
+    emit_bench_json({"misprediction_adaptive_mae": rows})
+
+    # Online learning beats the frozen (offline-trained) Smith: the
+    # frozen model never sees the completions that keep arriving.  (The
+    # frozen baseline is scored over the full trace, *including* the
+    # prefix it trained on — a handicap for the online side — so only
+    # some-workload dominance is asserted, not every-workload.)
+    beats_frozen = [
+        w
+        for w, row in grid.items()
+        if min(row[a] for a in ADAPTIVE) < row["frozen-smith"]
+    ]
+    assert beats_frozen, "no adaptive predictor beat frozen Smith anywhere"
+    # The headline claim: at least one online learner beats even the
+    # *live* Smith predictor on at least one paper workload.
+    beats_live = [
+        w
+        for w, row in grid.items()
+        if min(row[a] for a in ADAPTIVE) < row["smith"]
+    ]
+    assert beats_live, "no adaptive predictor beat live Smith on any workload"

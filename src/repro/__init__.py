@@ -12,7 +12,9 @@ The package is organized bottom-up:
 - :mod:`repro.predictors` — run-time predictors (Smith templates + GA
   search, Gibbons, Downey, actual, user maxima);
 - :mod:`repro.waitpred` — wait-time prediction by forward simulation;
-- :mod:`repro.core` — experiment drivers regenerating every paper table.
+- :mod:`repro.core` — experiment drivers regenerating every paper table;
+- :mod:`repro.experiments` — harnesses beyond the paper's grids
+  (misprediction cost: injected error → schedule degradation).
 
 Quickstart::
 
@@ -62,7 +64,18 @@ from repro.waitpred import (
     evaluate_wait_predictions,
     StateBasedWaitPredictor,
 )
-from repro.predictors import warm_start
+from repro.predictors import (
+    warm_start,
+    OnlineMeanPredictor,
+    OnlineRegressionPredictor,
+    DecayedMeanPredictor,
+)
+from repro.experiments import (
+    ErrorModel,
+    NoisyPredictor,
+    run_misprediction_campaign,
+    run_misprediction_experiment,
+)
 from repro.core import (
     run_wait_time_experiment,
     run_scheduling_experiment,
@@ -107,6 +120,13 @@ __all__ = [
     "evaluate_wait_predictions",
     "StateBasedWaitPredictor",
     "warm_start",
+    "OnlineMeanPredictor",
+    "OnlineRegressionPredictor",
+    "DecayedMeanPredictor",
+    "ErrorModel",
+    "NoisyPredictor",
+    "run_misprediction_campaign",
+    "run_misprediction_experiment",
     "run_wait_time_experiment",
     "run_scheduling_experiment",
     "run_runtime_prediction_experiment",

@@ -4,6 +4,7 @@ Installed as the ``repro-sched`` console script::
 
     repro-sched scheduling --workloads ANL --predictors actual max smith
     repro-sched wait-time --algorithms backfill --n-jobs 500
+    repro-sched misprediction --workloads ANL --levels 0 0.5 1 --parallel 2
     repro-sched runtime-error
     repro-sched summarize --n-jobs 2000
     repro-sched report --n-jobs 1000 -o EXPERIMENTS.md
@@ -27,12 +28,13 @@ from repro.core.experiment import (
 )
 from repro.core.registry import POLICY_NAMES, PREDICTOR_NAMES
 from repro.core.tables import format_table
+from repro.experiments.misprediction import DEFAULT_ERROR_LEVELS, ERROR_KINDS
 from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
 from repro.workloads.stats import summarize
 from repro.workloads.transform import compress_interarrival
 
 __all__ = ["main", "build_parser", "run_config", "run_trace",
-           "run_report_from_trace"]
+           "run_report_from_trace", "run_misprediction"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +85,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_grid_args(p_wait, algorithms=True)
     p_rt = sub.add_parser("runtime-error", help="§3 run-time accuracy grid")
     add_grid_args(p_rt, algorithms=False)
+
+    p_mis = sub.add_parser(
+        "misprediction",
+        help="error -> schedule-degradation curves (noisy run-time oracle)",
+    )
+    p_mis.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["ANL"],
+        choices=sorted(PAPER_WORKLOADS),
+        metavar="W",
+    )
+    p_mis.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["backfill", "easy"],
+        choices=POLICY_NAMES,
+        metavar="A",
+    )
+    p_mis.add_argument(
+        "--levels",
+        nargs="+",
+        type=float,
+        default=list(DEFAULT_ERROR_LEVELS),
+        metavar="L",
+        help="injected error levels (sorted ascending; include 0 to anchor "
+        "the curve at the exact oracle)",
+    )
+    p_mis.add_argument("--error-kind", default="multiplicative",
+                       choices=ERROR_KINDS)
+    p_mis.add_argument("--noise-seed", type=int, default=0,
+                       help="seed of the per-job error draws")
+    p_mis.add_argument("--base-predictor", default="actual",
+                       choices=PREDICTOR_NAMES,
+                       help="predictor the noise wraps (default: the oracle)")
+    p_mis.add_argument("--n-jobs", type=int, default=300,
+                       help="jobs per workload (0 = full paper size)")
+    p_mis.add_argument("--seed", type=int, default=None)
+    p_mis.add_argument("--compress", type=float, default=1.0,
+                       help="divide interarrival gaps by this factor")
+    p_mis.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="fan the (workload x policy x level) cells "
+                       "across N worker processes (1 = serial; 0 = one "
+                       "per CPU)")
 
     p_sum = sub.add_parser("summarize", help="Table 1 style characterization")
     p_sum.add_argument("--n-jobs", type=int, default=1000)
@@ -244,6 +290,40 @@ def run_config(config: ExperimentConfig) -> list[dict[str, object]]:
                 row["Predictor"] = predictor
                 rows.append(row)
     return rows
+
+
+def run_misprediction(args: argparse.Namespace) -> int:
+    """The ``misprediction`` subcommand: degradation curves per policy."""
+    from repro.experiments.misprediction import run_misprediction_campaign
+
+    n_jobs = None if args.n_jobs <= 0 else args.n_jobs
+    traces = [
+        load_paper_workload(w, n_jobs=n_jobs, seed=args.seed)
+        for w in args.workloads
+    ]
+    if args.compress != 1.0:
+        traces = [compress_interarrival(t, args.compress) for t in traces]
+    curves = run_misprediction_campaign(
+        workloads=traces,
+        algorithms=tuple(args.algorithms),
+        levels=tuple(args.levels),
+        kind=args.error_kind,
+        noise_seed=args.noise_seed,
+        base_predictor=args.base_predictor,
+        max_workers=(os.cpu_count() or 1) if args.parallel <= 0 else args.parallel,
+    )
+    for curve in curves:
+        print(
+            format_table(
+                curve.rows(),
+                title=(
+                    f"misprediction degradation ({curve.workload}, "
+                    f"{curve.algorithm}, {curve.error_kind}, "
+                    f"base={args.base_predictor})"
+                ),
+            )
+        )
+    return 0
 
 
 def run_trace(args: argparse.Namespace) -> int:
@@ -428,6 +508,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "trace":
         return run_trace(args)
+    if args.command == "misprediction":
+        return run_misprediction(args)
     if args.command == "ga-search":
         from repro.predictors.ga import GAConfig, TemplateSearch
         from repro.predictors.replay import replay_prediction_error

@@ -38,7 +38,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.experiment import (
     SchedulingCell,
@@ -46,6 +46,9 @@ from repro.core.experiment import (
     run_scheduling_experiment,
     run_wait_time_experiment,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.misprediction import MispredictionCell
 from repro.obs.metrics import merge_snapshots
 from repro.predictors.templates import Template
 from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
@@ -63,8 +66,9 @@ __all__ = [
     "run_table_parallel",
 ]
 
-#: The two table families of the paper (Tables 4-9 and 10-15).
-CELL_KINDS = ("wait-time", "scheduling")
+#: The two table families of the paper (Tables 4-9 and 10-15) plus the
+#: misprediction-cost grid (repro.experiments.misprediction).
+CELL_KINDS = ("wait-time", "scheduling", "misprediction")
 
 
 class ParallelExecutionError(RuntimeError):
@@ -99,6 +103,12 @@ class CellSpec:
     compress: float = 1.0
     templates: tuple[Template, ...] | None = None
     scheduler_predictor: str = "max"
+    #: Misprediction cells only: the injected error distribution (see
+    #: repro.experiments.misprediction.ErrorModel).  ``predictor`` then
+    #: names the *base* predictor the noise wraps.
+    error_kind: str | None = None
+    error_level: float = 0.0
+    error_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in CELL_KINDS:
@@ -110,6 +120,8 @@ class CellSpec:
             )
         if self.compress <= 0:
             raise ValueError(f"compress must be positive, got {self.compress}")
+        if self.kind == "misprediction" and self.error_kind is None:
+            raise ValueError("misprediction cells require an error_kind")
 
     @classmethod
     def from_trace(
@@ -121,6 +133,9 @@ class CellSpec:
         *,
         templates: tuple[Template, ...] | None = None,
         scheduler_predictor: str = "max",
+        error_kind: str | None = None,
+        error_level: float = 0.0,
+        error_seed: int = 0,
     ) -> "CellSpec":
         """Describe a cell over an already-loaded paper trace.
 
@@ -145,6 +160,9 @@ class CellSpec:
             compress=p.get("compress", 1.0),
             templates=templates,
             scheduler_predictor=scheduler_predictor,
+            error_kind=error_kind,
+            error_level=error_level,
+            error_seed=error_seed,
         )
 
 
@@ -164,7 +182,7 @@ class CellResult:
 
     spec: CellSpec
     index: int
-    cell: WaitTimeCell | SchedulingCell | None = None
+    cell: "WaitTimeCell | SchedulingCell | MispredictionCell | None" = None
     failure: CellFailure | None = None
     attempts: int = 0
     duration_s: float = 0.0
@@ -225,6 +243,56 @@ class ExperimentPlan:
         return cls(cells=tuple(specs))
 
     @classmethod
+    def for_misprediction(
+        cls,
+        *,
+        workloads: Sequence[str] | Sequence[Trace],
+        algorithms: Sequence[str],
+        levels: Sequence[float],
+        kind: str = "multiplicative",
+        noise_seed: int = 0,
+        base_predictor: str = "actual",
+        n_jobs: int | None = None,
+        seed: int | None = None,
+        compress: float = 1.0,
+    ) -> "ExperimentPlan":
+        """The misprediction grid, in campaign order
+        (workload → algorithm → error level, levels ascending)."""
+        levels = sorted(levels)
+        specs: list[CellSpec] = []
+        for w in workloads:
+            for algo in algorithms:
+                for level in levels:
+                    if isinstance(w, Trace):
+                        specs.append(
+                            CellSpec.from_trace(
+                                "misprediction",
+                                w,
+                                algo,
+                                base_predictor,
+                                error_kind=kind,
+                                error_level=level,
+                                error_seed=noise_seed,
+                            )
+                        )
+                    else:
+                        specs.append(
+                            CellSpec(
+                                kind="misprediction",
+                                workload=w,
+                                algorithm=algo,
+                                predictor=base_predictor,
+                                n_jobs=n_jobs,
+                                seed=seed,
+                                compress=compress,
+                                error_kind=kind,
+                                error_level=level,
+                                error_seed=noise_seed,
+                            )
+                        )
+        return cls(cells=tuple(specs))
+
+    @classmethod
     def for_grid(
         cls,
         kind: str,
@@ -263,7 +331,7 @@ class TableRun:
     results: list[CellResult] = field(default_factory=list)
 
     @property
-    def cells(self) -> list[WaitTimeCell | SchedulingCell]:
+    def cells(self) -> "list[WaitTimeCell | SchedulingCell | MispredictionCell]":
         """Successful cells in plan order."""
         return [r.cell for r in self.results if r.ok]
 
@@ -297,7 +365,7 @@ def _cell_trace(spec: CellSpec) -> Trace:
     return trace
 
 
-def execute_cell(spec: CellSpec) -> WaitTimeCell | SchedulingCell:
+def execute_cell(spec: CellSpec) -> "WaitTimeCell | SchedulingCell | MispredictionCell":
     """Run one cell from scratch — the function shipped to pool workers.
 
     Also usable inline: ``execute_cell(spec)`` in the parent process is
@@ -311,6 +379,23 @@ def execute_cell(spec: CellSpec) -> WaitTimeCell | SchedulingCell:
             spec.predictor,
             templates=spec.templates,
             scheduler_predictor=spec.scheduler_predictor,
+        )
+        return cell
+    if spec.kind == "misprediction":
+        # Imported here: repro.experiments depends on this module for
+        # its parallel path, so the reverse edge must stay lazy.
+        from repro.experiments.misprediction import (
+            ErrorModel,
+            run_misprediction_experiment,
+        )
+
+        cell, _ = run_misprediction_experiment(
+            trace,
+            spec.algorithm,
+            ErrorModel(
+                kind=spec.error_kind, level=spec.error_level, seed=spec.error_seed
+            ),
+            base_predictor=spec.predictor,
         )
         return cell
     cell, _ = run_scheduling_experiment(
@@ -328,7 +413,7 @@ def run_table_parallel(
     max_workers: int | None = None,
     timeout: float | None = None,
     retries: int = 1,
-    cell_fn: Callable[[CellSpec], WaitTimeCell | SchedulingCell] | None = None,
+    cell_fn: "Callable[[CellSpec], WaitTimeCell | SchedulingCell | MispredictionCell] | None" = None,
 ) -> TableRun:
     """Execute every cell of ``plan`` across a process pool.
 

@@ -9,6 +9,11 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.predictors.adaptive import (
+    DecayedMeanPredictor,
+    OnlineMeanPredictor,
+    OnlineRegressionPredictor,
+)
 from repro.predictors.base import RuntimePredictor
 from repro.predictors.downey import DowneyPredictor
 from repro.predictors.gibbons import GibbonsPredictor
@@ -29,7 +34,9 @@ __all__ = ["PREDICTOR_NAMES", "POLICY_NAMES", "make_predictor", "make_policy"]
 #: Predictors in the order the paper's tables present them.  The extra
 #: "smith-tuned" entry uses the per-workload GA-searched template sets
 #: of :mod:`repro.predictors.tuned` (the paper's actual methodology;
-#: plain "smith" uses the curated defaults).
+#: plain "smith" uses the curated defaults).  The three trailing
+#: "online-*"/"decayed-*" entries are the adaptive online learners of
+#: :mod:`repro.predictors.adaptive`, which post-date the paper.
 PREDICTOR_NAMES: tuple[str, ...] = (
     "actual",
     "max",
@@ -38,6 +45,9 @@ PREDICTOR_NAMES: tuple[str, ...] = (
     "gibbons",
     "downey-average",
     "downey-median",
+    "online-mean",
+    "online-rls",
+    "decayed-mean",
 )
 
 POLICY_NAMES: tuple[str, ...] = ("fcfs", "lwf", "backfill", "easy")
@@ -76,6 +86,12 @@ def make_predictor(
         if tuned is not None:
             return SmithPredictor(tuned)
         return SmithPredictor.for_trace(trace)
+    if name == "online-mean":
+        return OnlineMeanPredictor.for_trace(trace)
+    if name == "online-rls":
+        return OnlineRegressionPredictor.for_trace(trace)
+    if name == "decayed-mean":
+        return DecayedMeanPredictor.for_trace(trace)
     if name == "gibbons":
         return GibbonsPredictor()
     if name == "downey-average":

@@ -1,0 +1,26 @@
+"""Experiment harnesses beyond the paper's table grids.
+
+- :mod:`repro.experiments.misprediction` — the misprediction-cost
+  harness: inject controlled error into the run-time oracle, replay the
+  scheduler, and map prediction error to schedule degradation.
+"""
+
+from repro.experiments.misprediction import (
+    DEFAULT_ERROR_LEVELS,
+    DegradationCurve,
+    ErrorModel,
+    MispredictionCell,
+    NoisyPredictor,
+    run_misprediction_campaign,
+    run_misprediction_experiment,
+)
+
+__all__ = [
+    "DEFAULT_ERROR_LEVELS",
+    "DegradationCurve",
+    "ErrorModel",
+    "MispredictionCell",
+    "NoisyPredictor",
+    "run_misprediction_campaign",
+    "run_misprediction_experiment",
+]

@@ -11,6 +11,8 @@ already run), estimate its total run time.  Implemented families:
   median / conditional average estimators, categorized by queue;
 - :mod:`repro.predictors.simple` — the two baselines: actual run times
   (oracle) and user-supplied maximum run times (EASY-style);
+- :mod:`repro.predictors.adaptive` — online learners that update per
+  completion: incremental mean, recursive least squares, decayed mean;
 - :mod:`repro.predictors.ga` — the genetic-algorithm template search;
 - :mod:`repro.predictors.replay` — online replay of a trace through a
   predictor to score its accuracy.
@@ -33,6 +35,11 @@ from repro.predictors.smith import SmithPredictor
 from repro.predictors.gibbons import GibbonsPredictor
 from repro.predictors.downey import DowneyPredictor
 from repro.predictors.simple import ActualRuntimePredictor, MaxRuntimePredictor
+from repro.predictors.adaptive import (
+    DecayedMeanPredictor,
+    OnlineMeanPredictor,
+    OnlineRegressionPredictor,
+)
 from repro.predictors.ga import GAConfig, TemplateSearch, search_templates
 from repro.predictors.replay import replay_prediction_error, ReplayReport
 from repro.predictors.prediction_workload import (
@@ -56,6 +63,9 @@ __all__ = [
     "DowneyPredictor",
     "ActualRuntimePredictor",
     "MaxRuntimePredictor",
+    "OnlineMeanPredictor",
+    "OnlineRegressionPredictor",
+    "DecayedMeanPredictor",
     "GAConfig",
     "TemplateSearch",
     "search_templates",

@@ -98,13 +98,18 @@ class RuntimePredictor(ABC):
     def predict(self, job: Job, elapsed: float = 0.0, now: float = 0.0) -> Prediction | None:
         """Predict the job's total run time, or ``None`` if impossible."""
 
-    def on_submit(self, job: Job, now: float) -> None:  # pragma: no cover - hook
+    # Lifecycle hooks are deliberate no-ops here, NOT excluded from
+    # coverage: adaptive predictors override them, and the signature
+    # tests in tests/test_predictors_simple_base.py pin their shape so
+    # an override that drifts (extra argument, renamed parameter) fails
+    # loudly instead of silently never being called.
+    def on_submit(self, job: Job, now: float) -> None:
         pass
 
-    def on_start(self, job: Job, now: float) -> None:  # pragma: no cover - hook
+    def on_start(self, job: Job, now: float) -> None:
         pass
 
-    def on_finish(self, job: Job, now: float) -> None:  # pragma: no cover - hook
+    def on_finish(self, job: Job, now: float) -> None:
         pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,13 +1,27 @@
-"""Shared fixtures: compact deterministic jobs and traces."""
+"""Shared fixtures: compact deterministic jobs and traces.
+
+Also registers the hypothesis profiles the property suites run under:
+``default`` keeps local runs exploratory, ``ci`` pins the derandomized
+mode CI uses so a red build is reproducible from its log alone.  Select
+with ``HYPOTHESIS_PROFILE=ci`` (the coverage workflow does).
+"""
 
 from __future__ import annotations
 
 import itertools
+import os
 
 import pytest
+from hypothesis import settings
 
 from repro.workloads.job import Job, Trace
 from repro.workloads.archive import load_paper_workload
+
+settings.register_profile("default", deadline=None)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 _ids = itertools.count(1)
 

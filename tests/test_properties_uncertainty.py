@@ -1,0 +1,152 @@
+"""Property-based tests for Monte-Carlo wait intervals (waitpred.uncertainty).
+
+Two invariants that must hold for *any* system state:
+
+- Percentile ordering: ``lo <= median <= hi`` always, and intervals are
+  nested in the confidence level (a 95% interval contains the 50% one
+  computed from the same sampled worlds).
+- Degenerate collapse: when every sampled world is identical (a
+  zero-interval predictor), the Monte-Carlo interval collapses to a
+  single point — the deterministic answer of
+  :func:`repro.waitpred.fast.predict_start_fast` on the point estimates.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.base import PointEstimator, Prediction, RuntimePredictor
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy
+from repro.scheduler.simulator import QueuedJob, RunningJob, SystemSnapshot
+from repro.waitpred.fast import predict_start_fast
+from repro.waitpred.uncertainty import predict_wait_interval
+from repro.workloads.job import Job
+
+_TOTAL_NODES = 32
+
+
+class StubPredictor(RuntimePredictor):
+    """Predicts each job's actual run time with a fixed interval width."""
+
+    name = "stub"
+    elapsed_invariant = True
+
+    def __init__(self, interval: float) -> None:
+        self.interval = interval
+
+    def predict(self, job, elapsed=0.0, now=0.0):
+        return Prediction(estimate=job.run_time, interval=self.interval)
+
+
+@st.composite
+def snapshots(draw):
+    """A feasible system state: running jobs fit the machine, >= 1 queued."""
+    now = draw(st.floats(100.0, 10_000.0))
+    running = []
+    free = _TOTAL_NODES
+    for i in range(draw(st.integers(0, 3))):
+        nodes = draw(st.integers(1, _TOTAL_NODES // 2))
+        if nodes > free:
+            break
+        free -= nodes
+        start = draw(st.floats(0.0, now))
+        job = Job(
+            job_id=100 + i,
+            submit_time=start,
+            run_time=draw(st.floats(1.0, 20_000.0)),
+            nodes=nodes,
+            user="u",
+            executable="x",
+        )
+        running.append(RunningJob(job, start))
+    queued = []
+    for i in range(draw(st.integers(1, 4))):
+        job = Job(
+            job_id=200 + i,
+            submit_time=draw(st.floats(0.0, now)),
+            run_time=draw(st.floats(1.0, 20_000.0)),
+            nodes=draw(st.integers(1, _TOTAL_NODES)),
+            user="u",
+            executable="x",
+        )
+        queued.append(QueuedJob(job))
+    return SystemSnapshot(
+        now=now, running=tuple(running), queued=tuple(queued),
+        total_nodes=_TOTAL_NODES,
+    )
+
+
+@given(
+    snap=snapshots(),
+    interval=st.floats(0.0, 5_000.0),
+    seed=st.integers(0, 2**16),
+    policy=st.sampled_from([FCFSPolicy, BackfillPolicy]),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_percentiles_are_ordered(snap, interval, seed, policy):
+    est = PointEstimator(StubPredictor(interval))
+    target = snap.queued[-1].job_id
+    iv = predict_wait_interval(
+        snap, policy(), est, target, samples=16, seed=seed
+    )
+    assert iv.lo <= iv.median <= iv.hi
+    # Waits are measured from `now`; a queued job never starts in the past.
+    assert iv.lo >= 0.0
+
+
+@given(
+    snap=snapshots(),
+    interval=st.floats(1.0, 5_000.0),
+    seed=st.integers(0, 2**16),
+    lo_conf=st.floats(0.2, 0.6),
+    hi_conf=st.floats(0.7, 0.99),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_intervals_nest_in_confidence(snap, interval, seed, lo_conf, hi_conf):
+    """Same sampled worlds, higher confidence => containing interval."""
+    est = PointEstimator(StubPredictor(interval))
+    target = snap.queued[-1].job_id
+    narrow = predict_wait_interval(
+        snap, FCFSPolicy(), est, target,
+        samples=24, confidence=lo_conf, seed=seed,
+    )
+    wide = predict_wait_interval(
+        snap, FCFSPolicy(), est, target,
+        samples=24, confidence=hi_conf, seed=seed,
+    )
+    assert wide.lo <= narrow.lo + 1e-9
+    assert narrow.hi <= wide.hi + 1e-9
+    assert narrow.median == pytest.approx(wide.median)
+
+
+@given(
+    snap=snapshots(),
+    seed=st.integers(0, 2**16),
+    policy=st.sampled_from([FCFSPolicy, BackfillPolicy]),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_identical_worlds_collapse_to_fast_answer(snap, seed, policy):
+    """Zero run-time spread: every percentile equals the deterministic
+    predict_start_fast start time."""
+    est = PointEstimator(StubPredictor(0.0))
+    target = snap.queued[-1].job_id
+    iv = predict_wait_interval(
+        snap, policy(), est, target, samples=12, seed=seed
+    )
+    durations = {
+        rj.job_id: max(est.predict(rj.job, rj.elapsed(snap.now), snap.now), 1e-6)
+        for rj in snap.running
+    }
+    durations.update(
+        {
+            qj.job_id: max(est.predict(qj.job, 0.0, snap.now), 1e-6)
+            for qj in snap.queued
+        }
+    )
+    expected = predict_start_fast(snap, policy(), durations, target) - snap.now
+    assert iv.width == pytest.approx(0.0, abs=1e-9)
+    assert iv.median == pytest.approx(expected)
+    assert iv.lo == pytest.approx(expected)
+    assert iv.hi == pytest.approx(expected)
