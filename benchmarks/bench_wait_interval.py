@@ -1,0 +1,196 @@
+"""Engineering bench — vectorized many-worlds engine vs the scalar loop.
+
+:func:`repro.waitpred.uncertainty.predict_wait_interval` now advances
+all sampled worlds at once through the batched availability profile.
+This bench times it against a verbatim replica of the per-world loop it
+replaced, on the scenario the vectorization targets: a busy machine
+(64 running jobs) with a queue of wide "capability" jobs that each need
+most of the 256 nodes.  The scalar loop re-encodes the snapshot and
+rebuilds the profile once per world; the batched engine pays those
+costs once and advances a ``(samples, jobs)`` matrix.
+
+Two guarantees are enforced on every run:
+
+- **Parity** — the batched engine's ``wait_samples`` must be
+  bit-identical to the scalar loop's for the same seed (the
+  ``parity_failures`` emission must stay 0).
+- **Throughput** — the batched engine must beat the scalar loop
+  (soft floor) at every sample count; with ``REPRO_BENCH_STRICT_GAIN=1``
+  the full >= 8x target at ``samples=300`` is asserted too (off by
+  default because shared machines can swing wall-clock by ~30%).
+
+``REPRO_WAIT_BENCH_SAMPLES`` (comma-separated, default ``30,100,300``)
+controls the sweep — CI smoke runs a reduced ``30``-only sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _common import emit_bench_json, run_once
+from repro.predictors.base import PointEstimator, Prediction, RuntimePredictor
+from repro.scheduler.policies import BackfillPolicy
+from repro.scheduler.simulator import QueuedJob, RunningJob, SystemSnapshot
+from repro.utils.rng import rng_from_seed
+from repro.waitpred.fast import predict_start_fast
+from repro.waitpred.uncertainty import predict_wait_interval
+from repro.workloads.job import Job
+
+_Z90 = 1.645
+_SEED = 7
+_TOTAL = 256
+
+
+class IntervalPredictor(RuntimePredictor):
+    """Point-exact predictor with a 40% relative interval."""
+
+    name = "bench-interval"
+    elapsed_invariant = True
+
+    def predict(self, job, elapsed=0.0, now=0.0):
+        return Prediction(estimate=job.run_time, interval=0.4 * job.run_time)
+
+
+def capability_snapshot(n_running=64, n_queued=8, seed=0):
+    """Busy machine, queue of jobs each wanting 160-240 of 256 nodes."""
+    rng = np.random.default_rng(seed)
+    now = 50_000.0
+    running, free = [], _TOTAL
+    for i in range(n_running):
+        nodes = min(int(rng.integers(1, max(2, _TOTAL // n_running))),
+                    free - (n_running - i - 1))
+        nodes = max(nodes, 1)
+        free -= nodes
+        start = float(now - rng.uniform(0, 30_000))
+        running.append(RunningJob(
+            Job(job_id=1000 + i, submit_time=start,
+                run_time=float(rng.uniform(3_000, 80_000)), nodes=nodes,
+                user="u", executable="x"),
+            start,
+        ))
+    queued = [
+        QueuedJob(Job(
+            job_id=2000 + i,
+            submit_time=float(now - rng.uniform(0, 5_000)),
+            run_time=float(rng.uniform(1_000, 60_000)),
+            nodes=int(rng.integers(160, 241)),
+            user="u", executable="x",
+        ))
+        for i in range(n_queued)
+    ]
+    return SystemSnapshot(now=now, running=tuple(running),
+                          queued=tuple(queued), total_nodes=_TOTAL)
+
+
+def scalar_loop_interval(snapshot, policy, estimator, target_job_id,
+                         *, samples, seed):
+    """Verbatim replica of the pre-vectorization per-world loop."""
+    rng = rng_from_seed(seed)
+    now = snapshot.now
+    params = {}
+    for rj in snapshot.running:
+        elapsed = rj.elapsed(now)
+        point = estimator.predict(rj.job, elapsed, now)
+        rich = estimator.predictor.predict(rj.job, elapsed, now)
+        sigma = (rich.interval / _Z90) if rich is not None else 0.0
+        params[rj.job_id] = (point, sigma)
+    for qj in snapshot.queued:
+        point = estimator.predict(qj.job, 0.0, now)
+        rich = estimator.predictor.predict(qj.job, 0.0, now)
+        sigma = (rich.interval / _Z90) if rich is not None else 0.0
+        params[qj.job_id] = (point, sigma)
+    waits = np.empty(samples)
+    for s in range(samples):
+        durations = {
+            jid: max(point + sigma * float(rng.standard_normal()), 1e-6)
+            if sigma > 0
+            else max(point, 1e-6)
+            for jid, (point, sigma) in params.items()
+        }
+        start = predict_start_fast(snapshot, policy, durations, target_job_id)
+        waits[s] = start - now
+    return waits
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _sample_counts():
+    raw = os.environ.get("REPRO_WAIT_BENCH_SAMPLES", "30,100,300")
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def test_wait_interval_engine_speedup(benchmark):
+    snap = capability_snapshot()
+    policy = BackfillPolicy()
+    est = PointEstimator(IntervalPredictor())
+    target = snap.queued[-1].job_id
+    counts = _sample_counts()
+
+    parity_failures = 0
+    payload = {}
+    lines = []
+    for n in counts:
+        iv = predict_wait_interval(
+            snap, policy, est, target, samples=n, seed=_SEED
+        )
+        waits = scalar_loop_interval(
+            snap, policy, est, target, samples=n, seed=_SEED
+        )
+        if not np.array_equal(np.asarray(iv.wait_samples), waits):
+            parity_failures += 1
+        batched_s = _best_of(
+            lambda n=n: predict_wait_interval(
+                snap, policy, est, target, samples=n, seed=_SEED
+            ),
+            repeats=5,
+        )
+        scalar_s = _best_of(
+            lambda n=n: scalar_loop_interval(
+                snap, policy, est, target, samples=n, seed=_SEED
+            ),
+            repeats=3,
+        )
+        gain = scalar_s / batched_s
+        payload[f"samples_{n}"] = {
+            "batched_wall_s": batched_s,
+            "scalar_wall_s": scalar_s,
+            "gain_x": gain,
+            "median_wait": iv.median,
+            "lo_wait": iv.lo,
+            "hi_wait": iv.hi,
+        }
+        lines.append(
+            f"samples={n:4d}: batched {batched_s * 1e3:7.2f} ms "
+            f"vs scalar {scalar_s * 1e3:8.2f} ms ({gain:5.1f}x)"
+        )
+        # The vectorized engine must never regress to scalar speed.
+        assert gain > 1.5, f"samples={n}: gain {gain:.2f}x below floor"
+        if n >= 300 and os.environ.get("REPRO_BENCH_STRICT_GAIN") == "1":
+            assert gain >= 8.0, (
+                f"samples={n}: gain {gain:.2f}x below the 8x target"
+            )
+
+    assert parity_failures == 0
+
+    largest = max(counts)
+    run_once(
+        benchmark,
+        predict_wait_interval,
+        snap, policy, est, target, samples=largest, seed=_SEED,
+    )
+    print("\nmany-worlds wait interval, backfill, busy 256-node machine:")
+    for line in lines:
+        print(f"  {line}")
+    emit_bench_json({
+        "wait_interval": dict(payload, parity_failures=parity_failures)
+    })

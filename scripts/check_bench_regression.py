@@ -42,10 +42,14 @@ __all__ = ["flatten", "direction_of", "compare", "main"]
 WALL_CLOCK_MARKERS = (
     "wall_s", "plain_s", "traced_s", "audited_s", "optimized_s",
     "reference_s", "wall_time", "pass_cost_us", "duration",
+    # Ratios of wall clocks are as machine-dependent as the clocks
+    # themselves; the benches assert their own speedup floors.
+    "gain_x",
 )
 #: Substrings marking a key where smaller numbers are better.
 LOWER_BETTER_MARKERS = (
     "error", "wait", "overhead", "fallback", "cache_miss", "flushes",
+    "parity_fail",
 )
 #: Substrings marking a key where bigger numbers are better.
 HIGHER_BETTER_MARKERS = (

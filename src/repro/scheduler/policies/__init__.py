@@ -3,7 +3,11 @@
 from repro.scheduler.policies.base import Policy
 from repro.scheduler.policies.fcfs import FCFSPolicy
 from repro.scheduler.policies.lwf import LWFPolicy
-from repro.scheduler.policies.backfill import BackfillPolicy, AvailabilityProfile
+from repro.scheduler.policies.backfill import (
+    AvailabilityProfile,
+    BackfillPolicy,
+    BatchAvailabilityProfile,
+)
 from repro.scheduler.policies.easy import EASYBackfillPolicy
 
 __all__ = [
@@ -13,4 +17,5 @@ __all__ = [
     "BackfillPolicy",
     "EASYBackfillPolicy",
     "AvailabilityProfile",
+    "BatchAvailabilityProfile",
 ]

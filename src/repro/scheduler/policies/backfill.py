@@ -39,9 +39,11 @@ import bisect
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.scheduler.policies.base import Policy
 
-__all__ = ["AvailabilityProfile", "BackfillPolicy"]
+__all__ = ["AvailabilityProfile", "BatchAvailabilityProfile", "BackfillPolicy"]
 
 _INF = math.inf
 
@@ -291,6 +293,477 @@ class AvailabilityProfile:
         if i < 0:
             raise ValueError(f"time {time} precedes profile start")
         return self.free[i]
+
+
+class BatchAvailabilityProfile:
+    """``S`` availability profiles advanced in lock-step (sample axis first).
+
+    The many-worlds Monte-Carlo engine (:mod:`repro.waitpred.manyworlds`)
+    forward-plans the same queue over hundreds of sampled run-time
+    worlds.  Each world's free-node step function differs — the sampled
+    durations shift every breakpoint — but the *sequence of operations*
+    is identical: seed from the running jobs' releases, then reserve one
+    queued job at a time.  This class stores the step functions as
+    padded structure-of-arrays state
+
+    - ``times``  — ``(S, M)`` float64, breakpoint instants per world,
+      strictly increasing over each world's first ``count[s]`` columns
+      and padded with ``+inf``;
+    - ``free``   — ``(S, M)`` int64, free nodes on ``[times[i], times[i+1])``
+      (padding columns hold ``total_nodes`` so they can never look like
+      capacity violations);
+    - ``count``  — ``(S,)`` live-segment counts,
+
+    so one :meth:`reserve` call finds *and carves* the earliest feasible
+    slot in every world at once with a handful of vectorized array
+    passes instead of ``S`` Python scans.
+
+    Semantics are bit-identical to running ``S`` independent scalar
+    :class:`AvailabilityProfile` objects through the same call sequence:
+    the feasibility rule, anchor arithmetic (``end = anchor + duration``
+    in float64), duplicate-breakpoint merging, and the degenerate
+    ``end == anchor`` underflow behaviour all mirror the scalar code
+    path, and ``tests/test_waitpred_manyworlds.py`` property-tests the
+    equivalence operation by operation.
+    """
+
+    __slots__ = (
+        "total_nodes",
+        "n_worlds",
+        "times",
+        "free",
+        "count",
+        "_scr_tmp",
+        "_scr_f",
+        "_scr_b",
+        "_scr_b2",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        start_time: float,
+        free_nodes: int,
+        total_nodes: int,
+        n_worlds: int,
+        *,
+        capacity: int | None = None,
+    ) -> None:
+        if not 0 <= free_nodes <= total_nodes:
+            raise ValueError(f"free_nodes {free_nodes} outside [0, {total_nodes}]")
+        if n_worlds < 1:
+            raise ValueError(f"n_worlds must be >= 1, got {n_worlds}")
+        self.total_nodes = total_nodes
+        self.n_worlds = n_worlds
+        width = max(1, capacity or 0)
+        self.times = np.full((n_worlds, width), np.inf)
+        self.free = np.full((n_worlds, width), total_nodes, dtype=np.int64)
+        self.times[:, 0] = float(start_time)
+        self.free[:, 0] = int(free_nodes)
+        self.count = np.ones(n_worlds, dtype=np.int64)
+        self._drop_scratch()
+
+    def _drop_scratch(self) -> None:
+        """Invalidate capacity-shaped scratch state (lazily rebuilt)."""
+        self._scr_tmp = None
+        self._scr_f = None
+        self._scr_b = None
+        self._scr_b2 = None
+        self._rows = np.arange(self.n_worlds)
+
+    @classmethod
+    def from_releases(
+        cls,
+        start_time: float,
+        free_nodes: int,
+        total_nodes: int,
+        release_times: np.ndarray,
+        release_nodes: np.ndarray,
+        *,
+        capacity: int | None = None,
+    ) -> "BatchAvailabilityProfile":
+        """Profiles seeded from per-world release times in one sweep.
+
+        ``release_times`` is ``(S, R)`` — release ``r`` happens at a
+        different instant in each world — while ``release_nodes`` is
+        ``(R,)``: the node counts are world-invariant (they come from
+        the same running jobs).  Semantically mirrors
+        :meth:`AvailabilityProfile.rebuild`, including the fold of
+        releases at/before the origin into the first step; equal-time
+        releases are kept as zero-width twin columns that each carry
+        the run's cumulative total, a refinement of the scalar
+        profile's merged step function that leaves every query — free
+        counts, anchors, violation instants — with the scalar values.
+        """
+        release_times = np.ascontiguousarray(release_times, dtype=np.float64)
+        release_nodes = np.asarray(release_nodes, dtype=np.int64)
+        if release_times.ndim != 2:
+            raise ValueError("release_times must be (n_worlds, n_releases)")
+        n_worlds, n_rel = release_times.shape
+        if release_nodes.shape != (n_rel,):
+            raise ValueError("release_nodes must be (n_releases,)")
+        if np.any(release_nodes <= 0):
+            raise ValueError("release of <= 0 nodes")
+        profile = cls(
+            start_time,
+            free_nodes,
+            total_nodes,
+            n_worlds,
+            capacity=max(n_rel + 1, capacity or 0),
+        )
+        if n_rel == 0:
+            return profile
+        if free_nodes + int(release_nodes.sum()) > total_nodes:
+            raise RuntimeError("availability profile exceeds machine capacity")
+        # Releases at/before the origin fold into the first step.
+        early = release_times <= start_time
+        base = free_nodes + (release_nodes[None, :] * early).sum(axis=1)
+        late_times = np.where(early, np.inf, release_times)
+        # Order within an equal-time run never surfaces (the merge below
+        # keeps only each run's cumulative total), so the sort need not
+        # be stable.
+        order = np.argsort(late_times, axis=1)
+        rows = np.arange(n_worlds)[:, None]
+        t_sorted = late_times[rows, order]
+        n_sorted = np.where(np.isfinite(t_sorted), release_nodes[order], 0)
+        cum = base[:, None] + np.cumsum(n_sorted, axis=1)
+        # Merge equal-time releases: the last of each run carries the
+        # cumulative count, exactly like the scalar rebuild.  Duplicates
+        # are adjacent after the sort, so a cumsum of the keep mask gives
+        # each survivor its compacted column and a single scatter places
+        # them; the constructor's padding covers the dropped tail.
+        fin = np.isfinite(t_sorted)
+        last = fin.copy()
+        last[:, :-1] &= t_sorted[:, :-1] != t_sorted[:, 1:]
+        profile.times[:, 0] = start_time
+        profile.free[:, 0] = base
+        if last.all():
+            # No early releases, no equal-time runs: two slice copies
+            # place every column.
+            profile.times[:, 1 : n_rel + 1] = t_sorted
+            profile.free[:, 1 : n_rel + 1] = cum
+            profile.count = np.full(n_worlds, n_rel + 1, dtype=np.int64)
+            return profile
+        # Equal-time releases stay as zero-width twin columns instead of
+        # being compacted (a per-row shift would need fancy-index
+        # scatters).  Every member of a run carries the run's cumulative
+        # total — the nearest run-last at/after it, which is a reverse
+        # running minimum because ``cum`` is nondecreasing — so any
+        # column of a run answers free-count queries for its instant
+        # and the zero-width twins are skipped or neutralized by the
+        # value-based scans (a twin never widens a segment, and the
+        # run-last column supplies the violation marker at its time).
+        free_all = np.where(last, cum, total_nodes)
+        np.minimum.accumulate(free_all[:, ::-1], axis=1, out=free_all[:, ::-1])
+        # Early-release columns sort to the far right as +inf with free
+        # ``total_nodes`` — exactly the padding values, so writing them
+        # through keeps the padding invariant.
+        profile.times[:, 1 : n_rel + 1] = t_sorted
+        profile.free[:, 1 : n_rel + 1] = free_all
+        profile.count = fin.sum(axis=1) + 1
+        return profile
+
+    def _ensure_capacity(self) -> int:
+        """Keep >= 2 spare columns so one reserve never overruns.
+
+        Returns the active view width ``max(count) + 2`` — wide enough
+        that every world sees at least two padding columns, which the
+        vectorized scans rely on (padding is always feasible, so a world
+        whose profile never clears surfaces as an ``inf`` anchor).
+        Growth is geometric so a long reserve sequence costs amortized
+        O(1) reallocations per reserve.
+        """
+        need = int(self.count.max()) + 2
+        n_worlds, width = self.times.shape
+        if width >= need:
+            return need
+        grow = max(need - width, width // 2, 8)
+        self.times = np.concatenate(
+            [self.times, np.full((n_worlds, grow), np.inf)], axis=1
+        )
+        self.free = np.concatenate(
+            [self.free, np.full((n_worlds, grow), self.total_nodes, dtype=np.int64)],
+            axis=1,
+        )
+        self._drop_scratch()
+        return need
+
+    def earliest_start(
+        self,
+        nodes: int,
+        durations: np.ndarray | float,
+        *,
+        not_before: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-world earliest start for ``(nodes, durations[s])`` requests."""
+        durations = np.broadcast_to(
+            np.asarray(durations, dtype=np.float64), (self.n_worlds,)
+        )
+        if not_before is None and bool((durations > 0).all()):
+            width = self._ensure_capacity()
+            anchor, _ = self._find_nofloor(nodes, durations, width)
+            return anchor
+        anchor, _, _, _ = self._find_slots(nodes, durations, not_before)
+        return anchor
+
+    def _find_slots(
+        self,
+        nodes: int,
+        durations: np.ndarray | float,
+        not_before: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(anchor, idx, end, durations)`` across all worlds.
+
+        The closed-form equivalent of the scalar ``_find_slot`` scan:
+        segment ``i`` can anchor the request iff it survives the floor
+        clamp (``times[i+1] > anchor_i``), has ``free[i] >= nodes``, and
+        the next capacity violation at/after ``i+1`` happens no earlier
+        than ``anchor_i + duration``.  The scalar scan's restart logic
+        is an optimization over exactly this rule, so taking the first
+        feasible segment per world reproduces its answer.
+        """
+        if nodes > self.total_nodes:
+            raise ValueError(
+                f"request for {nodes} nodes exceeds machine size {self.total_nodes}"
+            )
+        times = self.times
+        free = self.free
+        n_worlds, width = times.shape
+        durations = np.broadcast_to(
+            np.asarray(durations, dtype=np.float64), (n_worlds,)
+        )
+        if np.any(durations < 0):
+            raise ValueError("negative duration")
+        if not_before is None:
+            floor = times[:, 0]
+        else:
+            floor = np.maximum(
+                np.broadcast_to(np.asarray(not_before, dtype=np.float64), (n_worlds,)),
+                times[:, 0],
+            )
+        anchor_cand = np.maximum(times, floor[:, None])
+        pad_col = np.full((n_worlds, 1), np.inf)
+        nxt_times = np.concatenate([times[:, 1:], pad_col], axis=1)
+        alive = nxt_times > anchor_cand
+        viol_time = np.where(free < nodes, times, np.inf)
+        next_viol = np.flip(
+            np.minimum.accumulate(np.flip(viol_time, axis=1), axis=1), axis=1
+        )
+        viol_after = np.concatenate([next_viol[:, 1:], pad_col], axis=1)
+        feasible = alive & (free >= nodes) & (
+            viol_after >= anchor_cand + durations[:, None]
+        )
+        if not feasible.any(axis=1).all():
+            raise RuntimeError("no feasible start found (profile never clears)")
+        idx = feasible.argmax(axis=1)
+        anchor = anchor_cand[np.arange(n_worlds), idx]
+        if not np.isfinite(anchor).all():
+            raise RuntimeError("no feasible start found (profile never clears)")
+        return anchor, idx, anchor + durations, durations
+
+    def _scratch(self) -> None:
+        """Lazily (re)build capacity-shaped scratch buffers."""
+        if self._scr_tmp is None or self._scr_tmp.shape != self.times.shape:
+            shape = self.times.shape
+            self._scr_tmp = np.empty(shape)
+            self._scr_f = np.empty(shape, dtype=np.int64)
+            self._scr_b = np.empty(shape, dtype=bool)
+            self._scr_b2 = np.empty(shape, dtype=bool)
+
+    def reserve(
+        self,
+        nodes: int,
+        durations: np.ndarray | float,
+        *,
+        not_before: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Find the earliest start and carve it, in every world at once.
+
+        Returns the ``(S,)`` anchor vector.  One call replaces ``S``
+        scalar ``reserve`` calls.  Unfloored requests with strictly
+        positive durations — every reservation of the backfill walk —
+        take :meth:`_reserve_nofloor`, a fused find-and-carve over an
+        active-width view; floored or degenerate requests fall back to
+        the general gather-based splice.
+        """
+        width = self._ensure_capacity()
+        durations = np.broadcast_to(
+            np.asarray(durations, dtype=np.float64), (self.n_worlds,)
+        )
+        if not_before is None and bool((durations > 0).all()):
+            return self._reserve_nofloor(nodes, durations, width)
+        return self._reserve_floored(nodes, durations, not_before)
+
+    def _find_nofloor(
+        self, nodes: int, durations: np.ndarray, w: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lean feasibility search: no floor, strictly positive durations.
+
+        Segment ``i`` is feasible iff ``free[i] >= nodes`` and
+        ``suffixmin(viol)[i] >= times[i] + duration``, where ``viol[j]``
+        is ``times[j]`` when ``free[j] < nodes`` else ``+inf``.
+        Including column ``i`` itself in the suffix is free — a violating
+        segment can never satisfy the inequality for positive durations —
+        except when ``times[i] + duration`` rounds back to ``times[i]``,
+        which the explicit ``free >= nodes`` term covers.  Returns the
+        ``(S,)`` anchor vector plus the anchoring column per world.
+        """
+        if nodes > self.total_nodes:
+            raise ValueError(
+                f"request for {nodes} nodes exceeds machine size {self.total_nodes}"
+            )
+        self._scratch()
+        F = self.free[:, :w]
+        B = self._scr_b[:, :w]
+        np.greater_equal(F, nodes, out=B)  # segment has room
+        # No column before the earliest has-room column can anchor any
+        # world, and the suffix-min only looks rightward, so the rest of
+        # the search runs on the tail view from there.  Padding keeps at
+        # least one has-room column per world, so the argmax is a real
+        # hit and a never-clearing world surfaces as an ``inf`` anchor.
+        c0 = int(B.argmax(axis=1).min())
+        T = self.times[:, c0:w]
+        Bt = B[:, c0:]
+        TMP = self._scr_tmp[:, c0:w]
+        B2 = self._scr_b2[:, c0:w]
+        viol = np.where(Bt, np.inf, T)  # violation instants
+        np.minimum.accumulate(viol[:, ::-1], axis=1, out=viol[:, ::-1])
+        np.add(T, durations[:, None], out=TMP)  # candidate end instants
+        np.greater_equal(viol, TMP, out=B2)  # next violation at/after end
+        B2 &= Bt
+        idx = B2.argmax(axis=1) + c0
+        anchor = self.times[self._rows, idx]
+        if not np.isfinite(anchor).all():
+            raise RuntimeError("no feasible start found (profile never clears)")
+        return anchor, idx
+
+    def _reserve_nofloor(
+        self, nodes: int, durations: np.ndarray, w: int
+    ) -> np.ndarray:
+        """The backfill hot path: no floor, strictly positive durations.
+
+        With no ``not_before`` every candidate anchor is a segment's own
+        start, so no anchor breakpoint is ever inserted and the whole
+        find-and-carve collapses to ~15 vectorized passes over an
+        active-width view (``w = max(count) + 2``), reusing persistent
+        scratch buffers:
+
+        - feasibility comes from :meth:`_find_nofloor`'s closed form;
+        - the splice and the carve only ever touch columns at or after
+          the earliest anchor across worlds (``c0 = idx.min()``), so
+          both run on that tail view — on a busy machine the anchors sit
+          deep in the profile and the tail is a fraction of the width;
+        - the (at most one) end breakpoint per world is spliced by an
+          in-place masked shift: copy the tail into scratch, shift it
+          back one column right where the mask says so, scatter the end
+          instants.  The shift duplicates the split segment's free count
+          into the new column automatically;
+        - the carve mask compares values (``anchor <= t < end``), not
+          column indices, so spliced and unspliced worlds share it.
+        """
+        anchor, idx = self._find_nofloor(nodes, durations, w)
+        rows = self._rows
+        c0 = int(idx.min())
+        T = self.times[:, c0:w]
+        F = self.free[:, c0:w]
+        B = self._scr_b[:, c0:w]
+        B2 = self._scr_b2[:, c0:w]
+        end = anchor + durations
+        # --- splice the end breakpoint where it is missing ---
+        # Every anchor column is >= c0 and T[:, c0] <= anchor < end, so
+        # the first tail column never shifts and the argmax below always
+        # lands on a padding column at the latest.
+        np.greater_equal(T, end[:, None], out=B)
+        end_idx = B.argmax(axis=1)
+        ins = T[rows, end_idx] != end
+        if ins.any():
+            B &= ins[:, None]  # columns at/after the insertion point
+            tmp_t = self._scr_tmp[:, c0 : w - 1]
+            tmp_f = self._scr_f[:, c0 : w - 1]
+            np.copyto(tmp_t, T[:, :-1])
+            np.copyto(tmp_f, F[:, :-1])
+            np.copyto(T[:, 1:], tmp_t, where=B[:, 1:])
+            np.copyto(F[:, 1:], tmp_f, where=B[:, 1:])
+            sel = np.flatnonzero(ins)
+            T[sel, end_idx[sel]] = end[sel]
+            self.count += ins
+        # --- carve [anchor, end) ---
+        np.greater_equal(T, anchor[:, None], out=B)
+        np.less(T, end[:, None], out=B2)
+        B &= B2
+        # Unmasked multiply-subtract: masked integer ufunc loops are much
+        # slower than two vectorized passes, and the result is identical.
+        carve = self._scr_f[:, c0:w]
+        np.multiply(B, nodes, out=carve)
+        np.subtract(F, carve, out=F)
+        return anchor
+
+    def _reserve_floored(
+        self,
+        nodes: int,
+        durations: np.ndarray,
+        not_before: np.ndarray | None,
+    ) -> np.ndarray:
+        """General find-and-carve: per-world floors, up to two splices.
+
+        The carve rebuilds the padded arrays with a single gather that
+        splices in the (at most two) new breakpoints each world needs.
+        """
+        anchor, idx, end, durations = self._find_slots(nodes, durations, not_before)
+        times = self.times
+        free = self.free
+        count = self.count
+        n_worlds, width = times.shape
+        rows = np.arange(n_worlds)
+        carving = durations > 0
+        if not carving.any():
+            return anchor
+        # Which worlds need an anchor breakpoint / an end breakpoint.
+        need_a = carving & (times[rows, idx] != anchor)
+        grew = end > anchor  # False when duration underflows at the anchor
+        finite_end = np.isfinite(end)
+        # First segment at/after the end instant (padding is +inf, and
+        # capacity keeps count <= width - 2, so the index stays in range).
+        end_idx = (times < np.where(finite_end, end, np.inf)[:, None]).sum(axis=1)
+        end_idx = np.minimum(end_idx, width - 1)
+        ins_e = carving & grew & finite_end & (times[rows, end_idx] != end)
+        pos_a = idx + 1
+        pos_e = end_idx + need_a
+        cols = np.arange(width)[None, :]
+        shift_a = need_a[:, None] & (cols >= pos_a[:, None])
+        shift_e = ins_e[:, None] & (cols >= pos_e[:, None])
+        src = cols - shift_a.astype(np.int64) - shift_e.astype(np.int64)
+        new_times = times[rows[:, None], src]
+        new_free = free[rows[:, None], src]
+        at_a = need_a[:, None] & (cols == pos_a[:, None])
+        at_e = ins_e[:, None] & (cols == pos_e[:, None])
+        new_times = np.where(at_a, anchor[:, None], new_times)
+        new_times = np.where(at_e, end[:, None], new_times)
+        new_count = count + need_a + ins_e
+        # Carve [anchor segment, end breakpoint) in the new layout.
+        carve_from = idx + need_a
+        carve_to = np.where(finite_end, end_idx + need_a, new_count)
+        carve = (
+            (carving & grew)[:, None]
+            & (cols >= carve_from[:, None])
+            & (cols < carve_to[:, None])
+        )
+        new_free = new_free - nodes * carve
+        pad = cols >= new_count[:, None]
+        new_times = np.where(pad, np.inf, new_times)
+        new_free = np.where(pad, self.total_nodes, new_free)
+        self.times = new_times
+        self.free = new_free
+        self.count = new_count
+        return anchor
+
+    def free_at(self, time: np.ndarray | float) -> np.ndarray:
+        """Per-world free nodes at ``time`` (for tests/inspection)."""
+        time = np.broadcast_to(np.asarray(time, dtype=np.float64), (self.n_worlds,))
+        idx = (self.times <= time[:, None]).sum(axis=1) - 1
+        if np.any(idx < 0):
+            raise ValueError("time precedes profile start")
+        return self.free[np.arange(self.n_worlds), idx]
 
 
 class BackfillPolicy(Policy):

@@ -20,6 +20,15 @@ from repro.waitpred.fast import (
     fcfs_predicted_start,
     predict_start_fast,
 )
+from repro.waitpred.manyworlds import (
+    EncodedSnapshot,
+    SweepPoint,
+    encode_snapshot,
+    predict_starts_batch,
+    sample_durations,
+    scalar_starts,
+    sweep_estimates,
+)
 from repro.waitpred.statebased import (
     DEFAULT_STATE_TEMPLATES,
     StateBasedWaitPredictor,
@@ -42,4 +51,11 @@ __all__ = [
     "DEFAULT_STATE_TEMPLATES",
     "WaitInterval",
     "predict_wait_interval",
+    "EncodedSnapshot",
+    "SweepPoint",
+    "encode_snapshot",
+    "sample_durations",
+    "predict_starts_batch",
+    "scalar_starts",
+    "sweep_estimates",
 ]

@@ -10,12 +10,33 @@ kind of answer a resource-selection broker actually needs ("90% chance
 the job starts within 40 minutes").
 
 Jobs whose prediction came from the fallback chain (no interval
-information) keep their point estimate with zero spread.
+information) keep their point estimate with zero spread.  Each job is
+predicted exactly once per query: the rich prediction supplies both the
+point value and the interval, and the estimator's fallback chain runs
+only for jobs the predictor abstains on.
+
+The sampled worlds are planned by the vectorized many-worlds engine
+(:mod:`repro.waitpred.manyworlds`): all ``samples`` worlds advance at
+once through a batched availability profile, so interval queries with
+hundreds of samples cost a handful of array passes rather than hundreds
+of scalar replays.
+
+Determinism contract
+--------------------
+``seed`` may be an int or an ``np.random.Generator``.  An int seeds a
+fresh generator, so equal ``(snapshot, policy, estimator history, seed,
+samples)`` always produce equal intervals — bit-identical to the scalar
+per-world loop the engine replaced (the parity suite in
+``tests/test_properties_uncertainty.py`` enforces this).  A Generator is
+used in place without re-wrapping: its stream advances by exactly one
+``standard_normal((samples, k))`` fill (k = jobs with interval
+information), letting callers thread one stream through many queries
+reproducibly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,13 +44,13 @@ from repro.predictors.base import PointEstimator
 from repro.scheduler.policies.base import Policy
 from repro.scheduler.simulator import SystemSnapshot
 from repro.utils.rng import rng_from_seed
-from repro.waitpred.fast import predict_start_fast
+from repro.waitpred.manyworlds import (
+    encode_snapshot,
+    predict_starts_batch,
+    sample_durations,
+)
 
 __all__ = ["WaitInterval", "predict_wait_interval"]
-
-#: z-score matching the predictors' default 90% two-sided interval; the
-#: sampled run-time distribution is Normal(estimate, half_width / z).
-_Z90 = 1.645
 
 
 @dataclass(frozen=True)
@@ -41,10 +62,32 @@ class WaitInterval:
     hi: float
     confidence: float
     samples: int
+    #: The full per-world wait vector the percentiles were cut from,
+    #: retained so brokers can ask distribution questions directly.
+    wait_samples: tuple[float, ...] = field(default=(), repr=False)
 
     @property
     def width(self) -> float:
         return self.hi - self.lo
+
+    @property
+    def mean(self) -> float:
+        """Mean predicted wait over the sampled worlds."""
+        if not self.wait_samples:
+            raise ValueError("wait samples were not retained")
+        return float(np.mean(self.wait_samples))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the sampled waits (0 <= q <= 100).
+
+        ``percentile(90.0)`` answers "the job starts within X with 90%
+        confidence" without re-deriving X from ``lo``/``hi``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.wait_samples:
+            raise ValueError("wait samples were not retained")
+        return float(np.percentile(self.wait_samples, q))
 
 
 def predict_wait_interval(
@@ -68,32 +111,10 @@ def predict_wait_interval(
     if not 0 < confidence < 1:
         raise ValueError("confidence must be in (0, 1)")
     rng = rng_from_seed(seed)
-    now = snapshot.now
-
-    # Per job: (point estimate, sigma) — running jobs conditioned on age.
-    params: dict[int, tuple[float, float]] = {}
-    for rj in snapshot.running:
-        elapsed = rj.elapsed(now)
-        point = estimator.predict(rj.job, elapsed, now)
-        rich = estimator.predictor.predict(rj.job, elapsed, now)
-        sigma = (rich.interval / _Z90) if rich is not None else 0.0
-        params[rj.job_id] = (point, sigma)
-    for qj in snapshot.queued:
-        point = estimator.predict(qj.job, 0.0, now)
-        rich = estimator.predictor.predict(qj.job, 0.0, now)
-        sigma = (rich.interval / _Z90) if rich is not None else 0.0
-        params[qj.job_id] = (point, sigma)
-
-    waits = np.empty(samples)
-    for s in range(samples):
-        durations = {
-            jid: max(point + sigma * float(rng.standard_normal()), 1e-6)
-            if sigma > 0
-            else max(point, 1e-6)
-            for jid, (point, sigma) in params.items()
-        }
-        start = predict_start_fast(snapshot, policy, durations, target_job_id)
-        waits[s] = start - now
+    enc = encode_snapshot(snapshot, estimator)
+    durations = sample_durations(enc, samples, rng)
+    starts = predict_starts_batch(snapshot, policy, enc, durations, target_job_id)
+    waits = starts - snapshot.now
 
     half = 100.0 * (1.0 - confidence) / 2.0
     return WaitInterval(
@@ -102,4 +123,5 @@ def predict_wait_interval(
         hi=float(np.percentile(waits, 100.0 - half)),
         confidence=confidence,
         samples=samples,
+        wait_samples=tuple(float(w) for w in waits),
     )

@@ -1,6 +1,6 @@
 """Property-based tests for Monte-Carlo wait intervals (waitpred.uncertainty).
 
-Two invariants that must hold for *any* system state:
+Invariants that must hold for *any* system state:
 
 - Percentile ordering: ``lo <= median <= hi`` always, and intervals are
   nested in the confidence level (a 95% interval contains the 50% one
@@ -9,22 +9,36 @@ Two invariants that must hold for *any* system state:
   zero-interval predictor), the Monte-Carlo interval collapses to a
   single point — the deterministic answer of
   :func:`repro.waitpred.fast.predict_start_fast` on the point estimates.
+- Batched/scalar parity: the vectorized many-worlds engine must be
+  bit-identical, world by world, to the scalar per-world loop it
+  replaced — same per-world starts for a shared duration matrix, and
+  the same ``wait_samples`` and percentiles as a verbatim replica of
+  the pre-vectorization sampling loop for the same integer seed.
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.predictors.base import PointEstimator, Prediction, RuntimePredictor
-from repro.scheduler.policies import BackfillPolicy, FCFSPolicy
+from repro.scheduler.policies import BackfillPolicy, FCFSPolicy, LWFPolicy
 from repro.scheduler.simulator import QueuedJob, RunningJob, SystemSnapshot
+from repro.utils.rng import rng_from_seed
 from repro.waitpred.fast import predict_start_fast
+from repro.waitpred.manyworlds import (
+    encode_snapshot,
+    predict_starts_batch,
+    sample_durations,
+    scalar_starts,
+)
 from repro.waitpred.uncertainty import predict_wait_interval
 from repro.workloads.job import Job
 
 _TOTAL_NODES = 32
+_Z90 = 1.645
 
 
 class StubPredictor(RuntimePredictor):
@@ -150,3 +164,105 @@ def test_property_identical_worlds_collapse_to_fast_answer(snap, seed, policy):
     assert iv.median == pytest.approx(expected)
     assert iv.lo == pytest.approx(expected)
     assert iv.hi == pytest.approx(expected)
+
+
+class SpottyPredictor(RuntimePredictor):
+    """Abstains on every third job so the fallback chain runs too."""
+
+    name = "spotty"
+    elapsed_invariant = True
+
+    def __init__(self, level: float) -> None:
+        self.level = level
+
+    def predict(self, job, elapsed=0.0, now=0.0):
+        if job.job_id % 3 == 0:
+            return None
+        return Prediction(
+            estimate=job.run_time * (1.0 + 0.1 * (job.job_id % 2)),
+            interval=self.level * job.run_time,
+        )
+
+
+def _old_loop_interval(snapshot, policy, estimator, target_job_id,
+                       *, samples, confidence=0.80, seed=0):
+    """Verbatim replica of the pre-vectorization per-world sampling loop."""
+    rng = rng_from_seed(seed)
+    now = snapshot.now
+    params = {}
+    for rj in snapshot.running:
+        elapsed = rj.elapsed(now)
+        point = estimator.predict(rj.job, elapsed, now)
+        rich = estimator.predictor.predict(rj.job, elapsed, now)
+        sigma = (rich.interval / _Z90) if rich is not None else 0.0
+        params[rj.job_id] = (point, sigma)
+    for qj in snapshot.queued:
+        point = estimator.predict(qj.job, 0.0, now)
+        rich = estimator.predictor.predict(qj.job, 0.0, now)
+        sigma = (rich.interval / _Z90) if rich is not None else 0.0
+        params[qj.job_id] = (point, sigma)
+    waits = np.empty(samples)
+    for s in range(samples):
+        durations = {
+            jid: max(point + sigma * float(rng.standard_normal()), 1e-6)
+            if sigma > 0
+            else max(point, 1e-6)
+            for jid, (point, sigma) in params.items()
+        }
+        start = predict_start_fast(snapshot, policy, durations, target_job_id)
+        waits[s] = start - now
+    half = 100.0 * (1.0 - confidence) / 2.0
+    return (
+        float(np.median(waits)),
+        float(np.percentile(waits, half)),
+        float(np.percentile(waits, 100.0 - half)),
+        waits,
+    )
+
+
+@given(
+    snap=snapshots(),
+    interval=st.floats(0.0, 5_000.0),
+    seed=st.integers(0, 2**16),
+    policy=st.sampled_from([FCFSPolicy, BackfillPolicy, LWFPolicy]),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_batched_starts_match_scalar_worlds(snap, interval, seed, policy):
+    """Same duration matrix => bit-identical per-world starts.
+
+    Covers the batched FCFS shortcut, the batched backfill shortcut,
+    and the scalar fallback dispatch (LWF has no shortcut).
+    """
+    est = PointEstimator(StubPredictor(interval))
+    target = snap.queued[-1].job_id
+    enc = encode_snapshot(snap, est)
+    durations = sample_durations(enc, 8, rng_from_seed(seed))
+    batched = predict_starts_batch(snap, policy(), enc, durations, target)
+    reference = scalar_starts(snap, policy(), enc, durations, target)
+    assert np.array_equal(batched, reference)
+
+
+@given(
+    snap=snapshots(),
+    level=st.sampled_from([0.0, 0.05, 0.5, 2.0]),
+    seed=st.integers(0, 2**16),
+    samples=st.integers(2, 12),
+    policy=st.sampled_from([FCFSPolicy, BackfillPolicy, LWFPolicy]),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_engine_reproduces_scalar_loop_bit_identically(
+    snap, level, seed, samples, policy
+):
+    """Same integer seed => the vectorized engine returns exactly the
+    wait samples and percentiles of the scalar per-world loop it
+    replaced, including jobs the predictor abstains on."""
+    est = PointEstimator(SpottyPredictor(level))
+    target = snap.queued[-1].job_id
+    med, lo, hi, waits = _old_loop_interval(
+        snap, policy(), est, target, samples=samples, seed=seed
+    )
+    iv = predict_wait_interval(
+        snap, policy(), est, target, samples=samples, seed=seed
+    )
+    assert np.array_equal(np.asarray(iv.wait_samples), waits)
+    assert (iv.median, iv.lo, iv.hi) == (med, lo, hi)

@@ -1,0 +1,335 @@
+"""Tests for the vectorized many-worlds engine and its batched profile.
+
+The batched :class:`BatchAvailabilityProfile` must behave, world by
+world, exactly like S independent scalar
+:class:`AvailabilityProfile` instances fed the same releases and the
+same reservation sequence: identical anchors from ``reserve``,
+identical ``earliest_start`` answers, identical free-count queries, and
+the same never-clears errors.  Internally the batch profile is allowed
+to be a *refinement* of the scalar step function — equal-time releases
+stay as zero-width twin columns — so state comparisons merge those
+twins first (mirroring ``tests/test_properties_reservations.py``'s
+style of checking invariants over random operation sequences).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors.base import PointEstimator, Prediction, RuntimePredictor
+from repro.scheduler.policies import BackfillPolicy, LWFPolicy
+from repro.scheduler.policies.backfill import (
+    AvailabilityProfile,
+    BatchAvailabilityProfile,
+)
+from repro.scheduler.simulator import QueuedJob, RunningJob, SystemSnapshot
+from repro.utils.rng import rng_from_seed
+from repro.waitpred.manyworlds import (
+    encode_snapshot,
+    predict_starts_batch,
+    sample_durations,
+    scalar_starts,
+    sweep_estimates,
+)
+from repro.workloads.job import Job
+
+
+def assert_worlds_match_scalars(batch, scalars, total):
+    """Each batch world, twins merged, equals its scalar profile."""
+    for s, scalar in enumerate(scalars):
+        c = int(batch.count[s])
+        bt = batch.times[s, :c]
+        bf = batch.free[s, :c]
+        dup = bt[1:] == bt[:-1]
+        # A zero-width twin never reports less free than its run-last.
+        assert np.all(bf[:-1][dup] >= bf[1:][dup])
+        last = np.ones(c, dtype=bool)
+        last[:-1] = ~dup
+        assert np.array_equal(bt[last], np.array(scalar.times))
+        assert np.array_equal(bf[last], np.array(scalar.free))
+        # Padding invariant: everything past count is (+inf, total).
+        assert np.all(np.isinf(batch.times[s, c:]))
+        assert np.all(batch.free[s, c:] == total)
+
+
+@st.composite
+def profile_scenarios(draw):
+    n_worlds = draw(st.integers(1, 5))
+    total = draw(st.integers(4, 48))
+    n_rel = draw(st.integers(0, 5))
+    rel_nodes = [draw(st.integers(1, max(1, total // 3))) for _ in range(n_rel)]
+    while sum(rel_nodes) > total:
+        rel_nodes = [max(n // 2, 1) for n in rel_nodes]
+        if sum(rel_nodes) <= n_rel:
+            break
+    if sum(rel_nodes) > total:
+        rel_nodes = [1] * n_rel
+    free0 = draw(st.integers(0, total - sum(rel_nodes)))
+    start = draw(st.floats(-5.0, 5.0))
+    rel_times = [
+        [start + draw(st.floats(-2.0, 20.0)) for _ in range(n_rel)]
+        for _ in range(n_worlds)
+    ]
+    if n_rel >= 2 and draw(st.booleans()):
+        for row in rel_times:
+            row[1] = row[0]  # exact equal-time run in every world
+    ops = []
+    for _ in range(draw(st.integers(1, 8))):
+        kind = draw(st.sampled_from(["nofloor", "floored", "earliest"]))
+        nodes = draw(st.integers(1, total))
+        durs = [
+            draw(st.floats(1e-6, 15.0)) for _ in range(n_worlds)
+        ]
+        floors = [start + draw(st.floats(-1.0, 25.0)) for _ in range(n_worlds)]
+        ops.append((kind, nodes, durs, floors))
+    return n_worlds, total, free0, start, rel_times, rel_nodes, ops
+
+
+@given(case=profile_scenarios())
+@settings(max_examples=60, deadline=None)
+def test_property_batch_profile_tracks_scalar_profiles(case):
+    """Random seed + reservation sequences: anchors, state, and errors
+    all match a per-world scalar profile exactly."""
+    n_worlds, total, free0, start, rel_times, rel_nodes, ops = case
+    batch = BatchAvailabilityProfile.from_releases(
+        start, free0, total, np.asarray(rel_times), np.asarray(rel_nodes)
+    )
+    scalars = [
+        AvailabilityProfile.from_releases(
+            start, free0, total,
+            [(rel_times[s][r], rel_nodes[r]) for r in range(len(rel_nodes))],
+        )
+        for s in range(n_worlds)
+    ]
+    assert_worlds_match_scalars(batch, scalars, total)
+    for kind, nodes, durs, floors in ops:
+        durs = np.asarray(durs)
+        try:
+            if kind == "nofloor":
+                got = batch.reserve(nodes, durs)
+            elif kind == "floored":
+                got = batch.reserve(nodes, durs, not_before=np.asarray(floors))
+            else:
+                got = batch.earliest_start(nodes, durs)
+        except RuntimeError:
+            # The batch raises only when some world never clears; the
+            # scalar profile for such a world must agree.
+            raised = 0
+            for s in range(n_worlds):
+                try:
+                    scalars[s].earliest_start(nodes, float(durs[s]))
+                except RuntimeError:
+                    raised += 1
+            assert raised > 0
+            return
+        for s in range(n_worlds):
+            if kind == "nofloor":
+                expected = scalars[s].reserve(nodes, float(durs[s]))
+            elif kind == "floored":
+                expected = scalars[s].reserve(
+                    nodes, float(durs[s]), not_before=float(floors[s])
+                )
+            else:
+                expected = scalars[s].earliest_start(nodes, float(durs[s]))
+            assert got[s] == expected
+        assert_worlds_match_scalars(batch, scalars, total)
+
+
+class TestBatchAvailabilityProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchAvailabilityProfile(0.0, 5, 4, 3)  # free > total
+        with pytest.raises(ValueError):
+            BatchAvailabilityProfile(0.0, -1, 4, 3)
+        with pytest.raises(ValueError):
+            BatchAvailabilityProfile(0.0, 2, 4, 0)  # no worlds
+        with pytest.raises(ValueError):
+            BatchAvailabilityProfile.from_releases(
+                0.0, 2, 4, np.zeros(3), np.ones(3, dtype=np.int64)
+            )  # release_times must be 2-D
+        with pytest.raises(ValueError):
+            BatchAvailabilityProfile.from_releases(
+                0.0, 2, 4, np.zeros((2, 3)), np.ones(2, dtype=np.int64)
+            )  # shape mismatch
+        with pytest.raises(ValueError):
+            BatchAvailabilityProfile.from_releases(
+                0.0, 2, 4, np.ones((2, 1)), np.zeros(1, dtype=np.int64)
+            )  # release of zero nodes
+        with pytest.raises(RuntimeError):
+            BatchAvailabilityProfile.from_releases(
+                0.0, 2, 4, np.ones((2, 1)), np.asarray([3])
+            )  # 2 free + 3 released > 4 total
+        profile = BatchAvailabilityProfile(0.0, 4, 4, 2)
+        with pytest.raises(ValueError):
+            profile.reserve(5, np.ones(2))  # wider than the machine
+        with pytest.raises(ValueError):
+            profile.earliest_start(5, np.ones(2))
+        with pytest.raises(ValueError):
+            profile.reserve(1, np.asarray([-1.0, 1.0]))  # negative duration
+
+    def test_never_clears_raises_like_scalar(self):
+        profile = BatchAvailabilityProfile.from_releases(
+            0.0, 1, 8, np.asarray([[5.0], [9.0]]), np.asarray([3])
+        )
+        scalar = AvailabilityProfile.from_releases(0.0, 1, 8, [(5.0, 3)])
+        with pytest.raises(RuntimeError):
+            profile.reserve(6, np.full(2, 2.0))
+        with pytest.raises(RuntimeError):
+            scalar.reserve(6, 2.0)
+
+    def test_earliest_start_does_not_mutate(self):
+        profile = BatchAvailabilityProfile.from_releases(
+            0.0, 2, 8, np.asarray([[4.0, 7.0], [3.0, 9.0]]), np.asarray([3, 3])
+        )
+        count = profile.count.copy()
+        w = int(count.max())
+        times = profile.times[:, :w].copy()
+        free = profile.free[:, :w].copy()
+        profile.earliest_start(4, np.full(2, 2.0))
+        profile.earliest_start(4, np.full(2, 2.0), not_before=np.full(2, 1.0))
+        # Capacity buffers may grow, but the tracked state must not move.
+        assert np.array_equal(profile.count, count)
+        assert np.array_equal(profile.times[:, :w], times)
+        assert np.array_equal(profile.free[:, :w], free)
+
+    def test_capacity_growth_preserves_worlds(self):
+        """Many reserves through a deliberately tiny initial capacity."""
+        profile = BatchAvailabilityProfile(0.0, 4, 4, 3, capacity=1)
+        scalars = [AvailabilityProfile(0.0, 4, 4) for _ in range(3)]
+        rng = rng_from_seed(11)
+        for _ in range(12):
+            durs = rng.uniform(0.5, 4.0, size=3)
+            got = profile.reserve(2, durs)
+            for s in range(3):
+                assert got[s] == scalars[s].reserve(2, float(durs[s]))
+        assert_worlds_match_scalars(profile, scalars, 4)
+
+    def test_free_at_matches_scalar(self):
+        rel = np.asarray([[2.0, 2.0, 6.0], [1.0, 4.0, 6.0]])
+        nodes = np.asarray([2, 1, 3])
+        profile = BatchAvailabilityProfile.from_releases(0.0, 1, 8, rel, nodes)
+        scalars = [
+            AvailabilityProfile.from_releases(
+                0.0, 1, 8, [(float(rel[s, r]), int(nodes[r])) for r in range(3)]
+            )
+            for s in range(2)
+        ]
+        for q in (0.0, 1.5, 2.0, 5.0, 7.0):
+            got = profile.free_at(q)
+            for s in range(2):
+                assert got[s] == scalars[s].free_at(q)
+        with pytest.raises(ValueError):
+            profile.free_at(-1.0)  # scalar raises here too
+
+
+class CountingPredictor(RuntimePredictor):
+    name = "counting"
+    elapsed_invariant = True
+
+    def __init__(self):
+        self.calls = 0
+
+    def predict(self, job, elapsed=0.0, now=0.0):
+        self.calls += 1
+        if job.job_id % 5 == 0:
+            return None  # abstain -> estimator fallback chain
+        return Prediction(estimate=job.run_time, interval=0.5 * job.run_time)
+
+
+def small_snapshot():
+    running = Job(job_id=1, submit_time=0.0, run_time=50.0, nodes=4,
+                  user="u", executable="x")
+    q1 = Job(job_id=5, submit_time=5.0, run_time=30.0, nodes=6,
+             user="u", executable="x")  # abstained on (id % 5 == 0)
+    q2 = Job(job_id=7, submit_time=6.0, run_time=20.0, nodes=2,
+             user="u", executable="x")
+    return SystemSnapshot(
+        now=10.0,
+        running=(RunningJob(running, 0.0),),
+        queued=(QueuedJob(q1), QueuedJob(q2)),
+        total_nodes=8,
+    )
+
+
+class TestEncodeAndSample:
+    def test_each_job_predicted_exactly_once(self):
+        """The double-predict of the original loop is gone: one rich
+        prediction per job, fallback only on abstention."""
+        snap = small_snapshot()
+        predictor = CountingPredictor()
+        enc = encode_snapshot(snap, PointEstimator(predictor))
+        # One call per covered job; only the abstaining job pays a second
+        # call inside the estimator's fallback chain (the old loop paid
+        # two calls for every job).
+        assert predictor.calls == enc.n_jobs + 1
+        assert enc.n_jobs == 3
+        assert enc.n_running == 1
+        assert enc.job_ids() == (1, 5, 7)
+        assert enc.sigma[1] == 0.0  # abstained job has no spread
+
+    def test_sample_durations_matches_sequential_scalar_draws(self):
+        snap = small_snapshot()
+        enc = encode_snapshot(snap, PointEstimator(CountingPredictor()))
+        durations = sample_durations(enc, 4, rng_from_seed(3))
+        rng = rng_from_seed(3)
+        for s in range(4):
+            for j in range(enc.n_jobs):
+                sigma = enc.sigma[j]
+                if sigma > 0:
+                    expected = max(
+                        enc.point[j] + sigma * float(rng.standard_normal()), 1e-6
+                    )
+                else:
+                    expected = max(enc.point[j], 1e-6)
+                assert durations[s, j] == expected
+
+    def test_unknown_target_raises(self):
+        snap = small_snapshot()
+        enc = encode_snapshot(snap, PointEstimator(CountingPredictor()))
+        durations = sample_durations(enc, 2, rng_from_seed(0))
+        with pytest.raises(KeyError):
+            predict_starts_batch(snap, BackfillPolicy(), enc, durations, 999)
+
+    def test_fallback_policy_routes_through_scalar_loop(self):
+        snap = small_snapshot()
+        enc = encode_snapshot(snap, PointEstimator(CountingPredictor()))
+        durations = sample_durations(enc, 3, rng_from_seed(1))
+        batched = predict_starts_batch(snap, LWFPolicy(), enc, durations, 7)
+        reference = scalar_starts(snap, LWFPolicy(), enc, durations, 7)
+        assert np.array_equal(batched, reference)
+
+
+class TestSweepEstimates:
+    def test_level_zero_is_deterministic_anchor(self):
+        snap = small_snapshot()
+        est = PointEstimator(CountingPredictor())
+        points = sweep_estimates(
+            snap, BackfillPolicy(), est, 7, levels=(0.0, 0.5), samples=16, seed=5
+        )
+        assert len(points) == 2
+        base = points[0]
+        assert base.level == 0.0
+        assert base.spread == pytest.approx(0.0)
+        assert base.std_wait == pytest.approx(0.0)
+        assert base.stable_fraction == pytest.approx(1.0)
+        assert points[1].level == 0.5
+
+    def test_common_random_numbers_are_deterministic(self):
+        snap = small_snapshot()
+        est = PointEstimator(CountingPredictor())
+        a = sweep_estimates(snap, BackfillPolicy(), est, 7, samples=12, seed=9)
+        b = sweep_estimates(snap, BackfillPolicy(), est, 7, samples=12, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        snap = small_snapshot()
+        est = PointEstimator(CountingPredictor())
+        with pytest.raises(ValueError):
+            sweep_estimates(snap, BackfillPolicy(), est, 7, samples=1)
+        with pytest.raises(ValueError):
+            sweep_estimates(
+                snap, BackfillPolicy(), est, 7, levels=(-0.1,), samples=4
+            )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.predictors.base import PointEstimator, warm_start
@@ -10,7 +11,8 @@ from repro.predictors.smith import SmithPredictor
 from repro.predictors.templates import Template
 from repro.scheduler.policies import BackfillPolicy, FCFSPolicy
 from repro.scheduler.simulator import QueuedJob, RunningJob, SystemSnapshot
-from repro.waitpred.uncertainty import predict_wait_interval
+from repro.utils.rng import rng_from_seed
+from repro.waitpred.uncertainty import WaitInterval, predict_wait_interval
 from tests.conftest import make_job
 
 
@@ -105,3 +107,84 @@ class TestPredictWaitInterval:
             predict_wait_interval(snap, FCFSPolicy(), est, 2, samples=1)
         with pytest.raises(ValueError):
             predict_wait_interval(snap, FCFSPolicy(), est, 2, confidence=1.0)
+
+
+def _uncertain_estimator():
+    smith = SmithPredictor([Template(characteristics=("u", "e"))])
+    warm_start(
+        smith,
+        [
+            make_job(job_id=100 + i, user="bob", executable="long", run_time=rt)
+            for i, rt in enumerate((200.0, 800.0, 1400.0, 2600.0))
+        ],
+    )
+    return PointEstimator(smith)
+
+
+class TestWaitIntervalAccessors:
+    def test_samples_are_retained(self):
+        snap = snapshot_with_queue()
+        iv = predict_wait_interval(
+            snap, FCFSPolicy(), _uncertain_estimator(), 2, samples=25, seed=4
+        )
+        assert len(iv.wait_samples) == 25
+
+    def test_mean_and_percentile_come_from_the_sample_vector(self):
+        snap = snapshot_with_queue()
+        iv = predict_wait_interval(
+            snap, FCFSPolicy(), _uncertain_estimator(), 2, samples=40, seed=4
+        )
+        waits = np.asarray(iv.wait_samples)
+        assert iv.mean == pytest.approx(float(np.mean(waits)))
+        assert iv.percentile(50.0) == pytest.approx(iv.median)
+        assert iv.percentile(10.0) == pytest.approx(float(np.percentile(waits, 10.0)))
+        assert iv.percentile(0.0) == pytest.approx(float(waits.min()))
+        assert iv.percentile(100.0) == pytest.approx(float(waits.max()))
+
+    def test_percentile_range_validated(self):
+        snap = snapshot_with_queue()
+        iv = predict_wait_interval(
+            snap, FCFSPolicy(), _uncertain_estimator(), 2, samples=5, seed=0
+        )
+        with pytest.raises(ValueError):
+            iv.percentile(-0.1)
+        with pytest.raises(ValueError):
+            iv.percentile(100.1)
+
+    def test_accessors_require_retained_samples(self):
+        bare = WaitInterval(median=5.0, lo=1.0, hi=9.0, confidence=0.8, samples=3)
+        with pytest.raises(ValueError):
+            bare.mean
+        with pytest.raises(ValueError):
+            bare.percentile(50.0)
+
+
+class TestGeneratorSeedPassThrough:
+    def test_generator_seed_matches_integer_seed(self):
+        snap = snapshot_with_queue()
+        est = _uncertain_estimator()
+        from_int = predict_wait_interval(
+            snap, FCFSPolicy(), est, 2, samples=20, seed=7
+        )
+        from_gen = predict_wait_interval(
+            snap, FCFSPolicy(), est, 2, samples=20, seed=rng_from_seed(7)
+        )
+        assert from_int == from_gen
+
+    def test_threaded_generator_advances_and_is_reproducible(self):
+        """One generator threaded through two queries draws two disjoint
+        chunks of a single stream — repeatable from the same seed."""
+        snap = snapshot_with_queue()
+        est = _uncertain_estimator()
+        rng = rng_from_seed(11)
+        first = predict_wait_interval(snap, FCFSPolicy(), est, 2, samples=15, seed=rng)
+        second = predict_wait_interval(snap, FCFSPolicy(), est, 2, samples=15, seed=rng)
+        assert first.wait_samples != second.wait_samples  # the stream moved
+        rng2 = rng_from_seed(11)
+        again_first = predict_wait_interval(
+            snap, FCFSPolicy(), est, 2, samples=15, seed=rng2
+        )
+        again_second = predict_wait_interval(
+            snap, FCFSPolicy(), est, 2, samples=15, seed=rng2
+        )
+        assert (first, second) == (again_first, again_second)
