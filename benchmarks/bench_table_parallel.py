@@ -12,6 +12,17 @@ floor is deliberately modest (>= 2.0x at 4 workers, below the ~3x a
 4-core machine reaches) and only armed on runners with at least 4 CPUs
 at ``REPRO_BENCH_JOBS >= 500`` — below that, process start-up and trace
 regeneration dominate the replay work and the measurement is noise.
+
+A second bench measures the cost of campaign telemetry: the same table
+with and without a journaling :class:`~repro.obs.campaign.CampaignTelemetry`
+attached, run as back-to-back A/B *pairs* with the inner order
+alternating (plain/telem, telem/plain, ...).  The reported overhead is
+the **minimum per-pair ratio**: shared-machine noise is correlated in
+time, so the quietest pair measures the true cost, while a real
+systematic regression lifts every pair and cannot hide.  The bench
+asserts bit-identical cells and emits ``overhead_pct``, which
+``scripts/check_bench_regression.py`` gates against the committed 3%
+budget in ``benchmarks/baselines/table_parallel_300.json``.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ import time
 from _common import bench_jobs, emit_bench_json, run_once
 
 from repro.core.experiment import run_scheduling_table
+from repro.obs.campaign import CampaignTelemetry, check_campaign_journal, read_campaign_journal
 
 WORKLOADS = ("ANL", "CTC", "SDSC95", "SDSC96")
 ALGORITHMS = ("lwf", "backfill")
@@ -76,3 +88,85 @@ def test_table_parallel_scaling(benchmark):
     if (os.cpu_count() or 1) >= 4 and (jobs is None or jobs >= 500):
         best = timings[1] / timings[4]
         assert best >= 2.0, f"4-worker table speedup regressed: {best:.2f}x"
+
+
+TELEMETRY_WORKERS = 2
+
+
+def _timed_table(telemetry=None):
+    t0 = time.perf_counter()
+    cells = run_scheduling_table(
+        "max",
+        workloads=list(WORKLOADS),
+        algorithms=ALGORITHMS,
+        n_jobs=bench_jobs(),
+        max_workers=TELEMETRY_WORKERS,
+        telemetry=telemetry,
+    )
+    return time.perf_counter() - t0, cells
+
+
+def _overhead_pairs(journal_dir):
+    """Run alternating-order A/B pairs; return per-pair walls + cells."""
+    pairs: list[tuple[float, float]] = []  # (plain_wall, telem_wall)
+    plain_cells = telem_cells = None
+    journals = []
+
+    def telemetered():
+        journal = os.path.join(journal_dir, f"campaign-{len(journals)}.jsonl")
+        journals.append(journal)
+        telemetry = CampaignTelemetry(journal)
+        try:
+            return _timed_table(telemetry)
+        finally:
+            telemetry.close()
+
+    for order in ("pt", "tp", "pt", "tp"):
+        if order == "pt":
+            plain_wall, plain_cells = _timed_table()
+            telem_wall, telem_cells = telemetered()
+        else:
+            telem_wall, telem_cells = telemetered()
+            plain_wall, plain_cells = _timed_table()
+        pairs.append((plain_wall, telem_wall))
+    return pairs, plain_cells, telem_cells, journals
+
+
+def test_table_telemetry_overhead(benchmark, tmp_path):
+    pairs, plain_cells, telem_cells, journals = run_once(
+        benchmark, _overhead_pairs, str(tmp_path)
+    )
+
+    # The probe wraps the cell fn without touching it: results must be
+    # bit-identical with telemetry on or off.
+    assert telem_cells == plain_cells, "telemetered table diverged from plain run"
+    # Every journal written during the bench must replay cleanly.
+    for journal in journals:
+        stats = check_campaign_journal(read_campaign_journal(journal))
+        assert stats["cells_done"] == len(plain_cells)
+
+    # Shared-machine noise is correlated in time, so the quietest
+    # back-to-back pair carries the real cost; a systematic regression
+    # lifts every pair and survives the min.
+    ratios = [telem / plain for plain, telem in pairs if plain > 0]
+    overhead_pct = 100.0 * (min(ratios) - 1.0) if ratios else 0.0
+    min_plain = min(plain for plain, _ in pairs)
+    min_telem = min(telem for _, telem in pairs)
+
+    emit_bench_json(
+        {
+            "table_parallel_telemetry": {
+                "workers": TELEMETRY_WORKERS,
+                "plain_wall_s": round(min_plain, 3),
+                "telemetry_wall_s": round(min_telem, 3),
+                "overhead_pct": round(overhead_pct, 2),
+            }
+        }
+    )
+
+    print()
+    print(
+        f"telemetry overhead @ {TELEMETRY_WORKERS} workers: "
+        f"plain {min_plain:.3f}s, telemetered {min_telem:.3f}s, "
+        f"best-pair overhead {overhead_pct:+.2f}%"
+    )

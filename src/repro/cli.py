@@ -11,6 +11,9 @@ Installed as the ``repro-sched`` console script::
     repro-sched trace --workload ANL --n-jobs 300 -o trace.jsonl --summary
     repro-sched trace --wait-pred state -o trace.jsonl --metrics > metrics.json
     repro-sched report trace.jsonl --metrics metrics.json --check
+    repro-sched scheduling --parallel 4 --progress --journal campaign.jsonl
+    repro-sched campaign campaign.jsonl --summary
+    repro-sched campaign campaign.jsonl --check
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from repro.workloads.stats import summarize
 from repro.workloads.transform import compress_interarrival
 
 __all__ = ["main", "build_parser", "run_config", "run_trace",
-           "run_report_from_trace", "run_misprediction"]
+           "run_report_from_trace", "run_misprediction", "run_campaign"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--parallel", type=int, default=1, metavar="N",
                        help="fan the grid's cells across N worker "
                        "processes (1 = serial; 0 = one per CPU)")
+        add_campaign_args(p)
+
+    def add_campaign_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--progress", action="store_true",
+                       help="(parallel runs) live campaign status line on "
+                       "stderr: cells done, throughput, ETA, stragglers")
+        p.add_argument("--journal", default=None, metavar="FILE",
+                       help="(parallel runs) write the campaign event "
+                       "journal (kill-safe JSONL) for `repro-sched "
+                       "campaign` to inspect")
 
     p_sched = sub.add_parser("scheduling", help="Tables 10-15 style grid")
     add_grid_args(p_sched, algorithms=True)
@@ -129,6 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan the (workload x policy x level) cells "
                        "across N worker processes (1 = serial; 0 = one "
                        "per CPU)")
+    add_campaign_args(p_mis)
+
+    p_cam = sub.add_parser(
+        "campaign",
+        help="inspect a campaign journal written by --journal: replay it "
+        "into a summary (completed/dispatched/failed cells, throughput, "
+        "stragglers) or validate it",
+    )
+    p_cam.add_argument("journal", help="campaign JSONL journal file")
+    p_cam.add_argument("--summary", action="store_true",
+                       help="print the replayed campaign summary (default; "
+                       "tolerates the torn final line a SIGKILL can leave)")
+    p_cam.add_argument("--check", action="store_true",
+                       help="strictly validate every journal line against "
+                       "the event schema and cross-check cell consistency; "
+                       "fails cleanly on truncated or incomplete journals")
+    p_cam.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON")
 
     p_sum = sub.add_parser("summarize", help="Table 1 style characterization")
     p_sum.add_argument("--n-jobs", type=int, default=1000)
@@ -233,7 +264,35 @@ def _load(config: ExperimentConfig, name: str):
     return trace
 
 
-def _run_config_parallel(config: ExperimentConfig) -> list[dict[str, object]]:
+def _make_telemetry(args: argparse.Namespace, *, parallel_active: bool):
+    """Build the campaign telemetry a grid command asked for, or ``None``.
+
+    ``--progress``/``--journal`` only make sense on the parallel path;
+    a serial run gets a stderr note and no telemetry, so serial output
+    (and the absence of a journal file) stays bit-identical to a run
+    without the flags.
+    """
+    progress = getattr(args, "progress", False)
+    journal = getattr(args, "journal", None)
+    if not progress and journal is None:
+        return None
+    if not parallel_active:
+        print(
+            "note: --progress/--journal apply to parallel runs only "
+            "(--parallel > 1); ignoring",
+            file=sys.stderr,
+        )
+        return None
+    from repro.obs.campaign import CampaignTelemetry, ProgressRenderer
+
+    return CampaignTelemetry(
+        journal, progress=ProgressRenderer() if progress else None
+    )
+
+
+def _run_config_parallel(
+    config: ExperimentConfig, telemetry=None
+) -> list[dict[str, object]]:
     """Fan a scheduling/wait-time grid across worker processes.
 
     Cells come back in the serial iteration order (workload → algorithm
@@ -254,7 +313,9 @@ def _run_config_parallel(config: ExperimentConfig) -> list[dict[str, object]]:
         seed=config.seed,
         compress=config.compress,
     )
-    run = run_table_parallel(plan, max_workers=config.parallel)
+    run = run_table_parallel(
+        plan, max_workers=config.parallel, telemetry=telemetry
+    )
     if run.failures:
         raise ParallelExecutionError(run.failures)
     rows = []
@@ -265,10 +326,14 @@ def _run_config_parallel(config: ExperimentConfig) -> list[dict[str, object]]:
     return rows
 
 
-def run_config(config: ExperimentConfig) -> list[dict[str, object]]:
-    """Execute a config and return printable row dicts."""
+def run_config(config: ExperimentConfig, *, telemetry=None) -> list[dict[str, object]]:
+    """Execute a config and return printable row dicts.
+
+    ``telemetry`` (a :class:`repro.obs.campaign.CampaignTelemetry`)
+    applies to the parallel path only; the caller owns its lifecycle.
+    """
     if config.parallel > 1 and config.kind in ("scheduling", "wait-time"):
-        return _run_config_parallel(config)
+        return _run_config_parallel(config, telemetry)
     rows: list[dict[str, object]] = []
     for workload in config.workloads:
         trace = _load(config, workload)
@@ -303,15 +368,22 @@ def run_misprediction(args: argparse.Namespace) -> int:
     ]
     if args.compress != 1.0:
         traces = [compress_interarrival(t, args.compress) for t in traces]
-    curves = run_misprediction_campaign(
-        workloads=traces,
-        algorithms=tuple(args.algorithms),
-        levels=tuple(args.levels),
-        kind=args.error_kind,
-        noise_seed=args.noise_seed,
-        base_predictor=args.base_predictor,
-        max_workers=(os.cpu_count() or 1) if args.parallel <= 0 else args.parallel,
-    )
+    max_workers = (os.cpu_count() or 1) if args.parallel <= 0 else args.parallel
+    telemetry = _make_telemetry(args, parallel_active=max_workers > 1)
+    try:
+        curves = run_misprediction_campaign(
+            workloads=traces,
+            algorithms=tuple(args.algorithms),
+            levels=tuple(args.levels),
+            kind=args.error_kind,
+            noise_seed=args.noise_seed,
+            base_predictor=args.base_predictor,
+            max_workers=max_workers,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     for curve in curves:
         print(
             format_table(
@@ -442,6 +514,84 @@ def run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_campaign_summary(summary: dict) -> str:
+    """Human rendering of :func:`repro.obs.campaign.summarize_campaign`."""
+    lines = [
+        f"campaign {summary['campaign_id'] or '(unknown)'}:"
+        f" {summary['cells_done']}/{summary['cells_total']} cells done,"
+        f" {summary['cells_failed']} failed,"
+        f" {summary['cells_running']} dispatched-unfinished"
+        + ("" if summary["complete"] else "  [INCOMPLETE — no campaign_finished]"),
+        f"  workers {summary['max_workers']},"
+        f" elapsed {summary['elapsed_s']:.2f}s,"
+        f" throughput {summary['throughput_cells_per_s']:.2f} cells/s,"
+        f" utilization {100 * summary['utilization']:.0f}%",
+    ]
+    if summary["duration_p50_s"] is not None:
+        lines.append(
+            f"  cell duration p50 {summary['duration_p50_s']:.3g}s"
+            f"  p90 {summary['duration_p90_s']:.3g}s"
+            f"  p99 {summary['duration_p99_s']:.3g}s"
+        )
+    if summary["cells_retried"]:
+        lines.append(f"  retries: {summary['cells_retried']}")
+    for s in summary["stragglers"]:
+        state = "still running" if s["running"] else "finished"
+        lines.append(
+            f"  straggler: cell {s['cell_index']} ({s['cell']}) — "
+            f"{s['duration_s']:.3g}s, {state}"
+        )
+    for f in summary["cells"]["failed"]:
+        lines.append(
+            f"  failed: cell {f['cell_index']} ({f['cell']}): {f['error']}"
+        )
+    for d in summary["cells"]["dispatched_unfinished"]:
+        lines.append(
+            f"  unfinished: cell {d['cell_index']} ({d['cell']}) was "
+            "dispatched but never completed"
+        )
+    return "\n".join(lines)
+
+
+def run_campaign(args: argparse.Namespace) -> int:
+    """The ``campaign`` subcommand: inspect a ``--journal`` file."""
+    import json
+
+    from repro.obs.campaign import (
+        CampaignCheckError,
+        check_campaign_journal,
+        read_campaign_journal,
+        summarize_campaign,
+    )
+    from repro.obs.schema import TraceSchemaError
+
+    if args.check:
+        try:
+            events = read_campaign_journal(args.journal, strict=True)
+            stats = check_campaign_journal(events)
+        except (OSError, TraceSchemaError, CampaignCheckError) as exc:
+            print(f"campaign check FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"campaign check OK: {stats['events']} events, "
+            f"{stats['cells_done']}/{stats['cells_total']} cells done, "
+            f"{stats['cells_failed']} failed",
+            file=sys.stderr,
+        )
+        return 0
+    try:
+        events = read_campaign_journal(args.journal)
+    except (OSError, TraceSchemaError) as exc:
+        print(f"campaign summary FAILED: {exc}", file=sys.stderr)
+        return 1
+    summary = summarize_campaign(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(_format_campaign_summary(summary))
+    return 0
+
+
 def run_report_from_trace(args: argparse.Namespace) -> int:
     """The ``report <trace.jsonl>`` mode: trace (+ metrics) -> run report."""
     import json
@@ -508,6 +658,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "trace":
         return run_trace(args)
+    if args.command == "campaign":
+        return run_campaign(args)
     if args.command == "misprediction":
         return run_misprediction(args)
     if args.command == "ga-search":
@@ -567,7 +719,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     kind = {"scheduling": "scheduling", "wait-time": "wait-time",
             "runtime-error": "runtime-error"}[args.command]
     config = _config_from_args(args, kind)
-    rows = run_config(config)
+    telemetry = _make_telemetry(
+        args,
+        parallel_active=(
+            config.parallel > 1 and kind in ("scheduling", "wait-time")
+        ),
+    )
+    try:
+        rows = run_config(config, telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(format_table(rows, title=f"{kind} experiment"))
     return 0
 

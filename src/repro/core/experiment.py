@@ -256,12 +256,15 @@ def _run_table_cells(
     max_workers: int | None,
     cell_timeout: float | None,
     retries: int,
+    telemetry=None,
 ) -> list:
     """Fan the table's cell grid across processes (``max_workers > 1``).
 
     Cells come back in the serial drivers' order; any cell that still
     fails after its retry budget raises
-    :class:`repro.core.parallel.ParallelExecutionError`.
+    :class:`repro.core.parallel.ParallelExecutionError`.  ``telemetry``
+    (a :class:`repro.obs.campaign.CampaignTelemetry`) makes the run an
+    observable campaign — see :func:`repro.core.parallel.run_table_parallel`.
     """
     from repro.core.parallel import (
         ExperimentPlan,
@@ -278,7 +281,8 @@ def _run_table_cells(
         templates=None if templates is None else tuple(templates),
     )
     run = run_table_parallel(
-        plan, max_workers=max_workers, timeout=cell_timeout, retries=retries
+        plan, max_workers=max_workers, timeout=cell_timeout, retries=retries,
+        telemetry=telemetry,
     )
     if run.failures:
         raise ParallelExecutionError(run.failures)
@@ -295,16 +299,18 @@ def run_wait_time_table(
     max_workers: int = 1,
     cell_timeout: float | None = None,
     retries: int = 1,
+    telemetry=None,
 ) -> list[WaitTimeCell]:
     """All cells of one of Tables 4-9 (one predictor, all workloads/algos).
 
     ``max_workers > 1`` runs the grid on a process pool (see
     :mod:`repro.core.parallel`); the default serial path is untouched.
+    ``telemetry`` applies to the parallel path only.
     """
     if max_workers != 1:
         return _run_table_cells(
             "wait-time", predictor_name, workloads, algorithms, n_jobs,
-            templates, max_workers, cell_timeout, retries,
+            templates, max_workers, cell_timeout, retries, telemetry,
         )
     cells = []
     for trace in _resolve_traces(workloads, n_jobs):
@@ -326,16 +332,18 @@ def run_scheduling_table(
     max_workers: int = 1,
     cell_timeout: float | None = None,
     retries: int = 1,
+    telemetry=None,
 ) -> list[SchedulingCell]:
     """All cells of one of Tables 10-15 (one predictor).
 
     ``max_workers > 1`` runs the grid on a process pool (see
     :mod:`repro.core.parallel`); the default serial path is untouched.
+    ``telemetry`` applies to the parallel path only.
     """
     if max_workers != 1:
         return _run_table_cells(
             "scheduling", predictor_name, workloads, algorithms, n_jobs,
-            templates, max_workers, cell_timeout, retries,
+            templates, max_workers, cell_timeout, retries, telemetry,
         )
     cells = []
     for trace in _resolve_traces(workloads, n_jobs):

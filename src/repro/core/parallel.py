@@ -24,6 +24,15 @@ executes an :class:`ExperimentPlan` of :class:`CellSpec` records on a
 - **Metrics.**  Each cell carries its own registry snapshot;
   :meth:`TableRun.merged_metrics` folds them with
   :func:`repro.obs.metrics.merge_snapshots` into one run-level view.
+- **Telemetry.**  Pass a :class:`~repro.obs.campaign.CampaignTelemetry`
+  and the driver journals the campaign event schema (dispatch, finish,
+  retry, failure, heartbeats) and ships each cell's worker-side
+  resource bill (wall/CPU/peak-RSS) back on its :class:`CellResult`.
+  The default ``telemetry=None`` keeps the original zero-cost path:
+  the worker callable submitted to the pool is then *identical* to the
+  untelemetered one, and cell results are bit-for-bit the same either
+  way (the resource probe wraps the cell function; it never reaches
+  into it).
 
 ``run_wait_time_table`` / ``run_scheduling_table`` expose this through
 their ``max_workers=`` parameter (default 1 keeps the serial path), the
@@ -38,6 +47,7 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.experiment import (
@@ -49,6 +59,12 @@ from repro.core.experiment import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.misprediction import MispredictionCell
+from repro.obs.campaign import (
+    CampaignTelemetry,
+    CellResources,
+    capture_resources,
+    resource_probe,
+)
 from repro.obs.metrics import merge_snapshots
 from repro.predictors.templates import Template
 from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
@@ -72,16 +88,25 @@ CELL_KINDS = ("wait-time", "scheduling", "misprediction")
 
 
 class ParallelExecutionError(RuntimeError):
-    """Raised by the table drivers when parallel cells failed."""
+    """Raised by the table drivers when parallel cells failed.
+
+    The message names every failed cell by its full spec coordinates
+    (:meth:`CellSpec.describe`) with its failure kind, attempt count,
+    and how many of those attempts were retries — enough to re-run the
+    exact cells without digging through a journal.
+    """
 
     def __init__(self, failures: Sequence["CellFailure"]) -> None:
         self.failures = tuple(failures)
-        lines = ", ".join(
-            f"{f.spec.workload}/{f.spec.algorithm}/{f.spec.predictor}"
-            f" ({f.kind} after {f.attempts} attempt(s): {f.error})"
-            for f in self.failures
-        )
-        super().__init__(f"{len(self.failures)} cell(s) failed: {lines}")
+        lines = [f"{len(self.failures)} cell(s) failed:"]
+        for f in self.failures:
+            retries = f.attempts - 1
+            noun = "retry" if retries == 1 else "retries"
+            lines.append(
+                f"  - {f.spec.describe()}: {f.kind} after {f.attempts} "
+                f"attempt(s) ({retries} {noun}): {f.error}"
+            )
+        super().__init__("\n".join(lines))
 
 
 @dataclass(frozen=True)
@@ -122,6 +147,14 @@ class CellSpec:
             raise ValueError(f"compress must be positive, got {self.compress}")
         if self.kind == "misprediction" and self.error_kind is None:
             raise ValueError("misprediction cells require an error_kind")
+
+    def describe(self) -> str:
+        """Human-oriented cell coordinates: ``workload/algorithm/predictor``,
+        plus the injected error model for misprediction cells."""
+        coords = f"{self.workload}/{self.algorithm}/{self.predictor}"
+        if self.kind == "misprediction":
+            coords += f" [{self.error_kind} error, level={self.error_level:g}]"
+        return coords
 
     @classmethod
     def from_trace(
@@ -186,6 +219,8 @@ class CellResult:
     failure: CellFailure | None = None
     attempts: int = 0
     duration_s: float = 0.0
+    #: Worker-side resource bill — populated only on telemetered runs.
+    resources: CellResources | None = None
 
     @property
     def ok(self) -> bool:
@@ -404,9 +439,31 @@ def execute_cell(spec: CellSpec) -> "WaitTimeCell | SchedulingCell | Mispredicti
     return cell
 
 
+def _profiled_cell(fn, spec: CellSpec):
+    """Worker entry point for telemetered runs: run the cell exactly as
+    ``fn`` would and ship its resource bill back alongside it.
+
+    Module-level (and composed via :func:`functools.partial`) so it
+    pickles; untelemetered runs submit ``fn`` itself, so disabling
+    telemetry restores the original callable bit-for-bit.
+    """
+    probe = resource_probe()
+    cell = fn(spec)
+    return cell, capture_resources(probe)
+
+
 # ----------------------------------------------------------------------
 # driver side
 # ----------------------------------------------------------------------
+def _spec_coords(spec: CellSpec) -> dict:
+    """The coordinate fields campaign cell events carry."""
+    return {
+        "workload": spec.workload,
+        "algorithm": spec.algorithm,
+        "predictor": spec.predictor,
+    }
+
+
 def run_table_parallel(
     plan: ExperimentPlan,
     *,
@@ -414,6 +471,7 @@ def run_table_parallel(
     timeout: float | None = None,
     retries: int = 1,
     cell_fn: "Callable[[CellSpec], WaitTimeCell | SchedulingCell | MispredictionCell] | None" = None,
+    telemetry: CampaignTelemetry | None = None,
 ) -> TableRun:
     """Execute every cell of ``plan`` across a process pool.
 
@@ -426,6 +484,14 @@ def run_table_parallel(
     worker entry point (it must be a picklable module-level callable) —
     the failure-path tests inject crashes and stalls through it.
 
+    ``telemetry`` turns the run into an observable *campaign*: events
+    journal through the telemetry's sink, each result carries its
+    worker's resource bill, and the driver's poll period is capped at
+    the telemetry's heartbeat so progress stays live during long cells.
+    ``campaign_finished`` is emitted only when the plan drains — a
+    journal without one marks a killed or crashed campaign.  The caller
+    owns the telemetry's lifecycle (close it to flush progress output).
+
     Results are returned in plan order regardless of completion order.
     """
     if max_workers is None:
@@ -435,11 +501,23 @@ def run_table_parallel(
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     fn = cell_fn if cell_fn is not None else execute_cell
+    worker_fn = fn if telemetry is None else partial(_profiled_cell, fn)
+
+    poll = None if timeout is None else min(timeout / 4, 0.05)
+    if telemetry is not None:
+        poll = (
+            telemetry.heartbeat_s if poll is None
+            else min(poll, telemetry.heartbeat_s)
+        )
 
     run = TableRun(results=[CellResult(spec, i) for i, spec in enumerate(plan.cells)])
     queue: deque[int] = deque(range(len(plan.cells)))
     in_flight: dict[Future, tuple[int, float]] = {}
     abandoned = False
+    if telemetry is not None:
+        telemetry.campaign_started(
+            cells_total=len(plan.cells), max_workers=max_workers
+        )
     pool = ProcessPoolExecutor(max_workers=max_workers)
     try:
         while queue or in_flight:
@@ -449,33 +527,59 @@ def run_table_parallel(
                 index = queue.popleft()
                 result = run.results[index]
                 result.attempts += 1
-                future = pool.submit(fn, result.spec)
+                future = pool.submit(worker_fn, result.spec)
                 in_flight[future] = (index, time.monotonic())
+                if telemetry is not None:
+                    telemetry.cell_dispatched(
+                        index, attempt=result.attempts, **_spec_coords(result.spec)
+                    )
 
-            done, _ = wait(
-                in_flight,
-                timeout=None if timeout is None else min(timeout / 4, 0.05),
-                return_when=FIRST_COMPLETED,
-            )
+            done, _ = wait(in_flight, timeout=poll, return_when=FIRST_COMPLETED)
             for future in done:
                 index, started = in_flight.pop(future)
                 result = run.results[index]
                 result.duration_s = time.monotonic() - started
                 try:
-                    result.cell = future.result()
+                    payload = future.result()
+                    if telemetry is None:
+                        result.cell = payload
+                    else:
+                        result.cell, result.resources = payload
                     result.failure = None
                 except BrokenProcessPool:
                     raise
                 except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
                     if result.attempts <= retries:
                         queue.append(index)
+                        if telemetry is not None:
+                            telemetry.cell_retried(
+                                index, attempt=result.attempts, error=error
+                            )
                     else:
                         result.failure = CellFailure(
                             spec=result.spec,
                             kind="error",
-                            error=f"{type(exc).__name__}: {exc}",
+                            error=error,
                             attempts=result.attempts,
                         )
+                        if telemetry is not None:
+                            telemetry.cell_failed(
+                                index,
+                                kind="error",
+                                error=error,
+                                attempts=result.attempts,
+                                **_spec_coords(result.spec),
+                            )
+                    continue
+                if telemetry is not None:
+                    telemetry.cell_finished(
+                        index,
+                        duration_s=result.duration_s,
+                        attempt=result.attempts,
+                        resources=result.resources,
+                        **_spec_coords(result.spec),
+                    )
 
             if timeout is not None:
                 now = time.monotonic()
@@ -489,15 +593,33 @@ def run_table_parallel(
                     abandoned = True
                     result = run.results[index]
                     result.duration_s = now - started
+                    error = f"cell exceeded {timeout}s"
                     if result.attempts <= retries:
                         queue.append(index)
+                        if telemetry is not None:
+                            telemetry.cell_retried(
+                                index, attempt=result.attempts, error=error
+                            )
                     else:
                         result.failure = CellFailure(
                             spec=result.spec,
                             kind="timeout",
-                            error=f"cell exceeded {timeout}s",
+                            error=error,
                             attempts=result.attempts,
                         )
+                        if telemetry is not None:
+                            telemetry.cell_failed(
+                                index,
+                                kind="timeout",
+                                error=error,
+                                attempts=result.attempts,
+                                **_spec_coords(result.spec),
+                            )
+
+            if telemetry is not None:
+                telemetry.heartbeat(running=len(in_flight))
+        if telemetry is not None:
+            telemetry.campaign_finished()
     finally:
         # With abandoned (timed-out) tasks still running, a blocking
         # shutdown would wait for them; detach instead — the workers

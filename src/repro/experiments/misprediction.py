@@ -344,6 +344,7 @@ def run_misprediction_campaign(
     max_workers: int = 1,
     cell_timeout: float | None = None,
     retries: int = 1,
+    telemetry=None,
 ) -> list[DegradationCurve]:
     """The (workload × policy × error-level) grid, as degradation curves.
 
@@ -351,7 +352,9 @@ def run_misprediction_campaign(
     0 still produces curves, but their baseline is the lowest level
     rather than the exact oracle.  ``max_workers > 1`` fans the cells
     across the parallel table layer (:mod:`repro.core.parallel`) with
-    the usual plan-order, timeout, and retry semantics.
+    the usual plan-order, timeout, and retry semantics; ``telemetry``
+    (a :class:`repro.obs.campaign.CampaignTelemetry`) makes that run an
+    observable campaign and applies to the parallel path only.
     """
     from repro.core.parallel import (
         ExperimentPlan,
@@ -382,7 +385,8 @@ def run_misprediction_campaign(
             seed=seed,
         )
         run = run_table_parallel(
-            plan, max_workers=max_workers, timeout=cell_timeout, retries=retries
+            plan, max_workers=max_workers, timeout=cell_timeout, retries=retries,
+            telemetry=telemetry,
         )
         if run.failures:
             raise ParallelExecutionError(run.failures)

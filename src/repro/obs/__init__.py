@@ -14,9 +14,22 @@ from repro.obs.accuracy import (
     GroupStats,
 )
 from repro.obs.audit import PredictionAudit
+from repro.obs.campaign import (
+    CampaignCheckError,
+    CampaignMonitor,
+    CampaignTelemetry,
+    CellResources,
+    ProgressRenderer,
+    capture_resources,
+    check_campaign_journal,
+    read_campaign_journal,
+    resource_probe,
+    summarize_campaign,
+)
 from repro.obs.instrument import Instrumentation
 from repro.obs.metrics import (
     BACKFILL_DEPTH_BUCKETS,
+    CELL_DURATION_BUCKETS,
     PASS_DURATION_BUCKETS,
     WAIT_TIME_BUCKETS,
     Counter,
@@ -24,6 +37,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     format_histogram,
+    format_metrics,
+    format_prometheus,
     histogram_quantile,
     merge_snapshots,
 )
@@ -36,6 +51,8 @@ from repro.obs.report import (
     validate_report,
 )
 from repro.obs.schema import (
+    CAMPAIGN_EVENT_TYPES,
+    CELL_FAILURE_KINDS,
     EVENT_TYPES,
     PREDICTION_RESOLVED_KINDS,
     TraceSchemaError,
@@ -64,9 +81,12 @@ __all__ = [
     "merge_snapshots",
     "histogram_quantile",
     "format_histogram",
+    "format_metrics",
+    "format_prometheus",
     "WAIT_TIME_BUCKETS",
     "PASS_DURATION_BUCKETS",
     "BACKFILL_DEPTH_BUCKETS",
+    "CELL_DURATION_BUCKETS",
     "Tracer",
     "Span",
     "EventSink",
@@ -75,6 +95,8 @@ __all__ = [
     "JsonlSink",
     "NULL_TRACER",
     "EVENT_TYPES",
+    "CAMPAIGN_EVENT_TYPES",
+    "CELL_FAILURE_KINDS",
     "PREDICTION_RESOLVED_KINDS",
     "TraceSchemaError",
     "validate_event",
@@ -93,4 +115,14 @@ __all__ = [
     "validate_report",
     "format_report",
     "report_to_json",
+    "CampaignTelemetry",
+    "CampaignMonitor",
+    "ProgressRenderer",
+    "CampaignCheckError",
+    "CellResources",
+    "capture_resources",
+    "resource_probe",
+    "read_campaign_journal",
+    "check_campaign_journal",
+    "summarize_campaign",
 ]

@@ -32,9 +32,12 @@ __all__ = [
     "merge_snapshots",
     "histogram_quantile",
     "format_histogram",
+    "format_metrics",
+    "format_prometheus",
     "WAIT_TIME_BUCKETS",
     "PASS_DURATION_BUCKETS",
     "BACKFILL_DEPTH_BUCKETS",
+    "CELL_DURATION_BUCKETS",
 ]
 
 #: Job wait times in seconds: sub-minute through two days.
@@ -51,6 +54,14 @@ PASS_DURATION_BUCKETS: tuple[float, ...] = (
 
 #: Queue positions a backfilled job jumped over (0 = in-order start).
 BACKFILL_DEPTH_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Campaign cell wall/CPU durations in seconds: ~50ms through one hour.
+#: Shared by every CampaignMonitor so campaign snapshots always merge
+#: and the TARE-style p50/p90/p99 quantiles bin identically everywhere.
+CELL_DURATION_BUCKETS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0,
+    60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0,
+)
 
 
 class Counter:
@@ -194,6 +205,10 @@ class MetricsRegistry:
     def to_json(self, *, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
+    def format_prometheus(self) -> str:
+        """Prometheus text exposition of the registry's current state."""
+        return format_prometheus(self.snapshot())
+
 
 def merge_snapshots(*snapshots: Mapping) -> dict:
     """Fold snapshots into one: counters and histograms add, gauges keep
@@ -284,3 +299,78 @@ def format_histogram(hist: Mapping, *, title: str | None = None, width: int = 40
     )
     lines.append(f"  count={hist['count']} mean={mean:.3g} {quantiles}")
     return "\n".join(lines)
+
+
+def format_metrics(snapshot: Mapping) -> str:
+    """Render a registry snapshot as aligned, *stable-sorted* text.
+
+    Counters and gauges come out one per line, histograms through
+    :func:`format_histogram`, every section sorted by metric name — two
+    renders of the same snapshot are byte-identical regardless of the
+    insertion order the registry (or a :func:`merge_snapshots` fold)
+    happened to use, so CI can diff them.
+    """
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        width = max(len(name) for name in counters)
+        lines.append("counters:")
+        lines.extend(
+            f"  {name:<{width}}  {counters[name]}" for name in sorted(counters)
+        )
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        width = max(len(name) for name in gauges)
+        lines.append("gauges:")
+        lines.extend(
+            f"  {name:<{width}}  {gauges[name]:g}" for name in sorted(gauges)
+        )
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        lines.append(format_histogram(histograms[name], title=f"{name}:"))
+    if not lines:
+        return "(no metrics)"
+    return "\n".join(lines)
+
+
+def _prometheus_name(name: str) -> str:
+    """Map a registry metric name onto the Prometheus grammar
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``): every other character becomes ``_``."""
+    cleaned = "".join(
+        c if c.isascii() and (c.isalnum() or c in "_:") else "_" for c in name
+    )
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def format_prometheus(snapshot: Mapping) -> str:
+    """Prometheus text-exposition (v0.0.4) rendering of a snapshot.
+
+    Any :meth:`MetricsRegistry.snapshot` (or :func:`merge_snapshots`
+    fold) becomes scrapeable: counters gain a ``_total`` suffix, gauges
+    keep their name, histograms expand to cumulative ``_bucket{le=...}``
+    series plus ``_sum``/``_count``.  Families are emitted sorted by
+    metric name, so output is deterministic for a given snapshot.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = _prometheus_name(name)
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {snapshot['counters'][name]}")
+    for name in sorted(snapshot.get("gauges", {})):
+        prom = _prometheus_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {snapshot['gauges'][name]:g}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        prom = _prometheus_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{prom}_sum {hist['sum']:g}")
+        lines.append(f"{prom}_count {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

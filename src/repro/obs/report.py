@@ -17,6 +17,13 @@ answering the three questions a run leaves behind:
    metrics snapshot is supplied, the scheduling-pass duration histogram
    summary.
 
+Traces that carry campaign events (a ``--journal`` file from the
+parallel table layer, or a trace the two were merged into) gain a
+fourth, optional ``campaign`` section: the replayed
+:func:`repro.obs.campaign.summarize_campaign` view — cells
+done/failed/unfinished, throughput, utilization, duration quantiles,
+and stragglers.
+
 The report is a plain JSON-serializable dict (``--json``), validated by
 :func:`validate_report` (the CI report-smoke job's gate), and rendered
 as aligned ASCII tables by :func:`format_report`.
@@ -176,6 +183,22 @@ def _overhead_section(
     return section
 
 
+def _campaign_section(events: list[Mapping]) -> dict | None:
+    """The optional campaign section — ``None`` when the trace carries
+    no campaign events (the common single-process case)."""
+    # Lazy import mirrors format_report's: repro.obs.report loads with
+    # only its own leaf dependencies.
+    from repro.obs.campaign import summarize_campaign
+    from repro.obs.schema import CAMPAIGN_EVENT_TYPES
+
+    campaign_events = [
+        e for e in events if e.get("type") in CAMPAIGN_EVENT_TYPES
+    ]
+    if not campaign_events:
+        return None
+    return summarize_campaign(campaign_events)
+
+
 def build_report(
     events: Iterable[Mapping],
     metrics: Mapping | None = None,
@@ -190,12 +213,16 @@ def build_report(
     :func:`~repro.obs.metrics.merge_snapshots` fold of several).
     """
     events = list(events)
-    return {
+    report = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "schedule": _schedule_section(events),
         "accuracy": _accuracy_section(events, window),
         "overhead": _overhead_section(events, metrics),
     }
+    campaign = _campaign_section(events)
+    if campaign is not None:
+        report["campaign"] = campaign
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -238,6 +265,13 @@ def validate_report(report: object) -> None:
     overhead = report["overhead"]
     if not isinstance(overhead, dict) or "events_total" not in overhead:
         raise ReportSchemaError("overhead must be an object with 'events_total'")
+    campaign = report.get("campaign")
+    if campaign is not None:
+        if not isinstance(campaign, dict):
+            raise ReportSchemaError("campaign must be an object")
+        for field in ("cells_total", "cells_done", "cells_failed", "complete"):
+            if field not in campaign:
+                raise ReportSchemaError(f"campaign section missing {field!r}")
 
 
 # ----------------------------------------------------------------------
@@ -341,6 +375,32 @@ def format_report(report: Mapping) -> str:
             f"p50={pd['p50_s'] * 1e6:.1f}us  p90={pd['p90_s'] * 1e6:.1f}us  "
             f"p99={pd['p99_s'] * 1e6:.1f}us"
         )
+
+    campaign = report.get("campaign")
+    if campaign:
+        lines = [
+            "Campaign"
+            + ("" if campaign["complete"] else " [INCOMPLETE]")
+            + f": {campaign['cells_done']}/{campaign['cells_total']} cells "
+            f"done, {campaign['cells_failed']} failed, "
+            f"{campaign['cells_running']} unfinished  "
+            f"(workers {campaign['max_workers']}, "
+            f"{campaign['throughput_cells_per_s']:.2f} cells/s, "
+            f"utilization {100 * campaign['utilization']:.0f}%)"
+        ]
+        if campaign.get("duration_p50_s") is not None:
+            lines.append(
+                f"  cell duration p50={campaign['duration_p50_s']:.3g}s "
+                f"p90={campaign['duration_p90_s']:.3g}s "
+                f"p99={campaign['duration_p99_s']:.3g}s"
+            )
+        for s in campaign.get("stragglers", []):
+            state = "running" if s["running"] else "finished"
+            lines.append(
+                f"  straggler: cell {s['cell_index']} ({s['cell']}) "
+                f"{s['duration_s']:.3g}s, {state}"
+            )
+        parts.append("\n".join(lines))
     return "\n\n".join(parts)
 
 

@@ -39,6 +39,40 @@ Event taxonomy
 ``span``              a timed block (``name``, ``duration_s``, optional
                       ``parent``)
 ==================== ======================================================
+
+Campaign events
+---------------
+The parallel table layer (:mod:`repro.core.parallel`) journals one
+campaign per :func:`~repro.core.parallel.run_table_parallel` run through
+the same kill-safe :class:`~repro.obs.trace.JsonlSink` machinery.  Every
+campaign event carries a ``campaign_id``; cell events name their cell by
+``cell_index`` (the plan position) plus the spec coordinates
+(``workload``/``algorithm``/``predictor``).
+
+===================== =====================================================
+``campaign_started``   a plan began executing (``cells_total``,
+                       ``max_workers``)
+``cell_dispatched``    a cell was handed to a free worker (``cell_index``,
+                       ``attempt``)
+``cell_heartbeat``     periodic driver-side status (``cells_done``,
+                       ``cells_running``)
+``cell_finished``      a cell completed (``cell_index``, ``duration_s``,
+                       optional worker resources: ``cpu_s``,
+                       ``max_rss_kb``, ``pid``)
+``cell_failed``        a cell exhausted its retry budget (``cell_index``,
+                       ``kind`` in ``error``/``timeout``, ``error``,
+                       ``attempts``)
+``cell_retried``       a failed/timed-out attempt was requeued
+                       (``cell_index``, ``attempt`` — the attempt that
+                       failed)
+``campaign_finished``  the plan drained (``cells_done``, ``cells_failed``,
+                       ``duration_s``)
+===================== =====================================================
+
+A campaign killed mid-run leaves a journal of whole, schema-valid lines
+ending before ``campaign_finished`` — replaying it recovers the exact
+set of dispatched/completed cells (the checkpoint/resume substrate; see
+:mod:`repro.obs.campaign`).
 """
 
 from __future__ import annotations
@@ -48,6 +82,8 @@ from typing import IO, Iterable
 
 __all__ = [
     "EVENT_TYPES",
+    "CAMPAIGN_EVENT_TYPES",
+    "CELL_FAILURE_KINDS",
     "PREDICTION_RESOLVED_KINDS",
     "TraceSchemaError",
     "validate_event",
@@ -74,24 +110,44 @@ _REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
         "job_id", "sim_time", "kind", "predictor", "predicted_s", "actual_s",
     ),
     "span": ("name", "duration_s"),
+    "campaign_started": ("campaign_id", "cells_total", "max_workers"),
+    "cell_dispatched": ("campaign_id", "cell_index", "attempt"),
+    "cell_heartbeat": ("campaign_id", "cells_done", "cells_running"),
+    "cell_finished": ("campaign_id", "cell_index", "duration_s"),
+    "cell_failed": ("campaign_id", "cell_index", "kind", "error", "attempts"),
+    "cell_retried": ("campaign_id", "cell_index", "attempt"),
+    "campaign_finished": (
+        "campaign_id", "cells_done", "cells_failed", "duration_s",
+    ),
 }
 
 EVENT_TYPES = frozenset(_REQUIRED_FIELDS)
 
+#: The campaign-level subset journaled by the parallel table layer.
+CAMPAIGN_EVENT_TYPES = frozenset(
+    t for t in EVENT_TYPES if t.startswith(("campaign_", "cell_"))
+)
+
 #: Values ``prediction_resolved.kind`` may take.
 PREDICTION_RESOLVED_KINDS = frozenset({"run_time", "wait_time"})
+
+#: Values ``cell_failed.kind`` may take (see repro.core.parallel.CellFailure).
+CELL_FAILURE_KINDS = frozenset({"error", "timeout"})
 
 #: Fields that, when present, must be numbers.
 _NUMERIC_FIELDS = (
     "wall_time", "sim_time", "wait_s", "run_s", "duration_s",
     "start_s", "previous_start_s", "scheduled_start_s", "predicted_wait_s",
     "predicted_run_s", "predicted_s", "actual_s", "error_s",
+    "cpu_s", "max_rss_kb",
 )
 #: Fields that, when present, must be ints.
-_INT_FIELDS = ("job_id", "depth", "nodes", "res_id")
+_INT_FIELDS = ("job_id", "depth", "nodes", "res_id",
+               "cell_index", "cells_total", "cells_done", "cells_running",
+               "cells_failed", "max_workers", "attempt", "attempts", "pid")
 #: Fields that, when present, must be strings.
 _STR_FIELDS = ("policy", "cause", "name", "parent", "error", "predictor",
-               "source", "kind")
+               "source", "kind", "campaign_id", "workload", "algorithm")
 
 
 class TraceSchemaError(ValueError):
@@ -121,6 +177,11 @@ def validate_event(event: object) -> None:
             f"{etype}: kind must be one of {sorted(PREDICTION_RESOLVED_KINDS)}, "
             f"got {event.get('kind')!r}"
         )
+    if etype == "cell_failed" and event.get("kind") not in CELL_FAILURE_KINDS:
+        raise TraceSchemaError(
+            f"{etype}: kind must be one of {sorted(CELL_FAILURE_KINDS)}, "
+            f"got {event.get('kind')!r}"
+        )
     for field in _NUMERIC_FIELDS:
         value = event.get(field)
         if value is not None and not isinstance(value, (int, float)):
@@ -144,13 +205,23 @@ def validate_events(events: Iterable[dict]) -> int:
     return n
 
 
-def read_jsonl(source: str | IO[str]) -> list[dict]:
-    """Parse a JSONL trace file (path or open file) into event dicts."""
+def read_jsonl(source: str | IO[str], *, drop_torn_tail: bool = False) -> list[dict]:
+    """Parse a JSONL trace file (path or open file) into event dicts.
+
+    ``drop_torn_tail=True`` recovers a file whose writer was killed
+    mid-write: a *final* line that lacks its terminating newline and
+    fails to parse is silently dropped (the one tear the kill-safe
+    :class:`~repro.obs.trace.JsonlSink` cannot prevent — see its
+    docstring).  Any other malformed line still raises
+    :class:`TraceSchemaError`.
+    """
     if hasattr(source, "read"):
-        lines = source.read().splitlines()
+        text = source.read()
     else:
         with open(source, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
+            text = fh.read()
+    lines = text.splitlines()
+    newline_terminated = text.endswith("\n")
     events = []
     for i, line in enumerate(lines, start=1):
         if not line.strip():
@@ -158,6 +229,8 @@ def read_jsonl(source: str | IO[str]) -> list[dict]:
         try:
             events.append(json.loads(line))
         except ValueError as exc:
+            if drop_torn_tail and i == len(lines) and not newline_terminated:
+                break
             raise TraceSchemaError(f"line {i}: not valid JSON ({exc})") from None
     return events
 

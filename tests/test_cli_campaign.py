@@ -1,0 +1,134 @@
+"""CLI smoke tests for ``--progress``/``--journal`` and ``repro-sched campaign``."""
+
+import json
+
+from repro.cli import main
+from repro.obs.campaign import check_campaign_journal, read_campaign_journal
+
+
+def _grid_args(journal, *extra):
+    return [
+        "scheduling",
+        "--workloads", "ANL",
+        "--algorithms", "fcfs",
+        "--predictors", "actual", "max",
+        "--n-jobs", "50",
+        "--parallel", "2",
+        "--journal", str(journal),
+        *extra,
+    ]
+
+
+def test_parallel_run_writes_checkable_journal(tmp_path, capsys):
+    journal = tmp_path / "campaign.jsonl"
+    assert main(_grid_args(journal)) == 0
+    out = capsys.readouterr().out
+    assert "scheduling experiment" in out
+    stats = check_campaign_journal(read_campaign_journal(str(journal)))
+    assert stats["cells_total"] == 2
+    assert stats["cells_done"] == 2
+
+
+def test_progress_renders_status_line(tmp_path, capsys):
+    journal = tmp_path / "campaign.jsonl"
+    assert main(_grid_args(journal, "--progress")) == 0
+    err = capsys.readouterr().err
+    assert "cells" in err  # the live status line landed on stderr
+
+
+def test_serial_run_ignores_flags_and_writes_no_journal(tmp_path, capsys):
+    journal = tmp_path / "never.jsonl"
+    code = main(
+        [
+            "scheduling",
+            "--workloads", "ANL",
+            "--algorithms", "fcfs",
+            "--predictors", "actual",
+            "--n-jobs", "50",
+            "--journal", str(journal),
+            "--progress",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "parallel runs only" in captured.err
+    assert not journal.exists()
+
+
+def test_campaign_check_and_summary(tmp_path, capsys):
+    journal = tmp_path / "campaign.jsonl"
+    main(_grid_args(journal))
+    capsys.readouterr()
+
+    assert main(["campaign", str(journal), "--check"]) == 0
+    assert "campaign check OK" in capsys.readouterr().err
+
+    assert main(["campaign", str(journal), "--summary"]) == 0
+    out = capsys.readouterr().out
+    assert "2/2 cells done" in out
+    assert "INCOMPLETE" not in out
+
+    assert main(["campaign", str(journal), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["complete"] is True
+    assert [c["cell_index"] for c in summary["cells"]["completed"]] == [0, 1]
+
+
+def test_campaign_check_fails_cleanly_on_truncated_journal(tmp_path, capsys):
+    journal = tmp_path / "campaign.jsonl"
+    main(_grid_args(journal))
+    capsys.readouterr()
+    # Tear the final line mid-record, as a SIGKILL mid-write would.
+    text = journal.read_text()
+    journal.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+
+    assert main(["campaign", str(journal), "--check"]) == 1
+    assert "campaign check FAILED" in capsys.readouterr().err
+
+    # The lenient summary still replays the whole-line records...
+    assert main(["campaign", str(journal), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["cells_done"] == 2
+    # ...but the torn campaign_finished line is gone, so it reads as live.
+    assert summary["complete"] is False
+
+
+def test_campaign_check_fails_cleanly_on_incomplete_journal(tmp_path, capsys):
+    journal = tmp_path / "campaign.jsonl"
+    main(_grid_args(journal))
+    capsys.readouterr()
+    lines = journal.read_text().splitlines()
+    assert json.loads(lines[-1])["type"] == "campaign_finished"
+    journal.write_text("\n".join(lines[:-1]) + "\n")
+
+    assert main(["campaign", str(journal), "--check"]) == 1
+    assert "incomplete" in capsys.readouterr().err
+
+
+def test_campaign_on_missing_file_fails_cleanly(tmp_path, capsys):
+    missing = tmp_path / "nope.jsonl"
+    assert main(["campaign", str(missing), "--check"]) == 1
+    assert "FAILED" in capsys.readouterr().err
+    assert main(["campaign", str(missing)]) == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_misprediction_journal(tmp_path, capsys):
+    journal = tmp_path / "mis.jsonl"
+    code = main(
+        [
+            "misprediction",
+            "--workloads", "ANL",
+            "--algorithms", "backfill",
+            "--levels", "0", "1",
+            "--n-jobs", "40",
+            "--parallel", "2",
+            "--journal", str(journal),
+        ]
+    )
+    assert code == 0
+    assert "misprediction degradation" in capsys.readouterr().out
+    events = read_campaign_journal(str(journal))
+    stats = check_campaign_journal(events)
+    assert stats["cells_total"] == 2
+    assert stats["cells_done"] == 2

@@ -260,3 +260,112 @@ class TestFailures:
         )
         assert "lwf" in str(plan_error)
         assert plan_error.failures[0].kind == "error"
+
+    def test_error_message_names_coordinates_and_retries(self):
+        failures = run_table_parallel(
+            self._plan(), max_workers=1, retries=2, cell_fn=_always_raise
+        ).failures
+        message = str(ParallelExecutionError(failures))
+        assert message.startswith("2 cell(s) failed:")
+        for algo in ALGORITHMS:
+            assert f"ANL/{algo}/actual" in message
+        assert "error after 3 attempt(s) (2 retries)" in message
+        assert "always fails" in message
+
+    def test_error_message_includes_misprediction_error_model(self):
+        spec = CellSpec(
+            "misprediction", "ANL", "backfill", "actual",
+            error_kind="multiplicative", error_level=0.5,
+        )
+        assert spec.describe() == (
+            "ANL/backfill/actual [multiplicative error, level=0.5]"
+        )
+        from repro.core.parallel import CellFailure
+
+        message = str(ParallelExecutionError(
+            [CellFailure(spec=spec, kind="timeout",
+                         error="cell exceeded 1.0s", attempts=1)]
+        ))
+        assert "multiplicative error, level=0.5" in message
+        assert "timeout after 1 attempt(s) (0 retries)" in message
+
+
+# ----------------------------------------------------------------------
+# campaign telemetry through the driver
+# ----------------------------------------------------------------------
+class TestTelemetry:
+    def _plan(self):
+        return ExperimentPlan.for_table(
+            "scheduling",
+            "actual",
+            workloads=["ANL"],
+            algorithms=ALGORITHMS,
+            n_jobs=N_JOBS,
+        )
+
+    def test_telemetered_run_is_bit_identical_and_journals(self, tmp_path):
+        from repro.obs.campaign import CampaignTelemetry, check_campaign_journal
+        from repro.obs.schema import read_jsonl
+
+        plain = run_table_parallel(self._plan(), max_workers=2)
+        journal = tmp_path / "campaign.jsonl"
+        with CampaignTelemetry(str(journal)) as telemetry:
+            telemetered = run_table_parallel(
+                self._plan(), max_workers=2, telemetry=telemetry
+            )
+        # The science is identical; only the observability differs.
+        assert [r.cell for r in telemetered.results] == [
+            r.cell for r in plain.results
+        ]
+        assert all(r.resources is None for r in plain.results)
+        for r in telemetered.results:
+            assert r.resources is not None
+            assert r.resources.pid > 0
+            assert r.resources.wall_s > 0
+        events = read_jsonl(str(journal))
+        stats = check_campaign_journal(events)
+        assert stats["cells_total"] == len(self._plan())
+        assert stats["cells_done"] == len(self._plan())
+        assert stats["cells_failed"] == 0
+        dispatched = [e for e in events if e["type"] == "cell_dispatched"]
+        assert {(e["workload"], e["algorithm"], e["predictor"])
+                for e in dispatched} == {
+            ("ANL", a, "actual") for a in ALGORITHMS
+        }
+
+    def test_telemetry_journals_failures_and_retries(self, tmp_path):
+        from repro.obs.campaign import CampaignTelemetry, check_campaign_journal
+        from repro.obs.schema import read_jsonl
+
+        journal = tmp_path / "failing.jsonl"
+        with CampaignTelemetry(str(journal)) as telemetry:
+            run = run_table_parallel(
+                self._plan(), max_workers=2, retries=1,
+                cell_fn=_raise_for_lwf, telemetry=telemetry,
+            )
+        assert len(run.failures) == 1
+        events = read_jsonl(str(journal))
+        stats = check_campaign_journal(events)
+        assert stats["cells_done"] == 1 and stats["cells_failed"] == 1
+        retried = [e for e in events if e["type"] == "cell_retried"]
+        assert len(retried) == 1
+        [failed] = [e for e in events if e["type"] == "cell_failed"]
+        assert failed["kind"] == "error"
+        assert failed["attempts"] == 2
+        assert failed["algorithm"] == "lwf"
+
+    def test_telemetry_default_off_leaves_no_resources(self):
+        run = run_table_parallel(self._plan(), max_workers=2)
+        assert all(r.resources is None for r in run.results)
+
+    def test_monitor_sees_live_state_without_sink(self):
+        from repro.obs.campaign import CampaignTelemetry
+
+        telemetry = CampaignTelemetry()  # no journal, monitor only
+        run = run_table_parallel(
+            self._plan(), max_workers=2, telemetry=telemetry
+        )
+        assert not run.failures
+        assert telemetry.monitor.cells_done == len(self._plan())
+        assert telemetry.monitor.finished_wall is not None
+        assert telemetry.monitor.utilization() > 0

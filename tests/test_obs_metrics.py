@@ -181,3 +181,87 @@ class TestQuantileAndFormat:
     def test_format_empty_histogram(self):
         text = format_histogram(self._hist([]))
         assert "no observations" in text
+
+
+class TestStableFormatting:
+    """Determinism pins for format_metrics / format_prometheus (the
+    ``repro-sched trace --summary`` analogue lives in summarize_events,
+    pinned below): identical snapshots must render byte-identically
+    regardless of registry insertion order."""
+
+    def _registry(self, names):
+        from repro.obs import CELL_DURATION_BUCKETS
+
+        reg = MetricsRegistry()
+        for name in names:
+            reg.counter(f"{name}.count").inc(3)
+            reg.gauge(f"{name}.level").set(1.5)
+        hist = reg.histogram("zz.duration", CELL_DURATION_BUCKETS)
+        hist.observe(0.2)
+        hist.observe(4.0)
+        return reg
+
+    def test_format_metrics_is_order_independent(self):
+        from repro.obs import format_metrics
+
+        a = self._registry(["beta", "alpha", "gamma"]).snapshot()
+        b = self._registry(["gamma", "beta", "alpha"]).snapshot()
+        assert format_metrics(a) == format_metrics(b)
+        text = format_metrics(a)
+        lines = [ln.strip().split()[0] for ln in text.splitlines()
+                 if ln.startswith("  ") and "." in ln]
+        assert lines[:3] == sorted(lines[:3])
+
+    def test_format_metrics_empty(self):
+        from repro.obs import format_metrics
+
+        assert format_metrics({}) == "(no metrics)"
+
+    def test_format_prometheus_exposition(self):
+        from repro.obs import format_prometheus
+
+        reg = self._registry(["only"])
+        text = reg.format_prometheus()
+        assert text == format_prometheus(reg.snapshot())
+        assert text.endswith("\n")
+        assert "# TYPE only_count_total counter" in text
+        assert "only_count_total 3" in text
+        assert "# TYPE only_level gauge" in text
+        assert "# TYPE zz_duration histogram" in text
+        # cumulative buckets: the 5.0 bucket holds both observations
+        assert 'zz_duration_bucket{le="5"} 2' in text
+        assert 'zz_duration_bucket{le="+Inf"} 2' in text
+        assert "zz_duration_count 2" in text
+
+    def test_format_prometheus_is_order_independent(self):
+        from repro.obs import format_prometheus
+
+        a = self._registry(["b", "a"]).snapshot()
+        b = self._registry(["a", "b"]).snapshot()
+        assert format_prometheus(a) == format_prometheus(b)
+
+    def test_prometheus_name_sanitized(self):
+        from repro.obs import format_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("campaign.cells-finished/total").inc()
+        text = format_prometheus(reg.snapshot())
+        assert "campaign_cells_finished_total_total 1" in text
+
+    def test_summarize_events_rows_are_sorted(self):
+        import random
+
+        from repro.obs import summarize_events
+
+        events = []
+        for policy in ("LWF", "Backfill", "FCFS"):
+            for etype in ("job_started", "job_finished", "job_submitted"):
+                events.extend(
+                    {"type": etype, "policy": policy} for _ in range(2)
+                )
+        shuffled = events[:]
+        random.Random(7).shuffle(shuffled)
+        rows = summarize_events(events)
+        assert rows == summarize_events(shuffled)
+        keys = [(r["Policy"], r["Event"]) for r in rows]
+        assert keys == sorted(keys)

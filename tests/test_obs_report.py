@@ -186,3 +186,73 @@ class TestFormatReport:
     def test_empty_report_renders(self):
         text = format_report(build_report([]))
         assert "Trace volume (0 events)" in text
+
+
+class TestCampaignSection:
+    def _campaign_events(self) -> list[dict]:
+        return [
+            {"type": "campaign_started", "wall_time": 0.0, "campaign_id": "c",
+             "cells_total": 2, "max_workers": 2},
+            {"type": "cell_dispatched", "wall_time": 0.1, "campaign_id": "c",
+             "cell_index": 0, "attempt": 1, "workload": "ANL",
+             "algorithm": "lwf", "predictor": "max"},
+            {"type": "cell_dispatched", "wall_time": 0.1, "campaign_id": "c",
+             "cell_index": 1, "attempt": 1},
+            {"type": "cell_finished", "wall_time": 1.1, "campaign_id": "c",
+             "cell_index": 0, "duration_s": 1.0, "cpu_s": 0.9,
+             "max_rss_kb": 4096, "pid": 9},
+            {"type": "cell_finished", "wall_time": 2.1, "campaign_id": "c",
+             "cell_index": 1, "duration_s": 2.0},
+            {"type": "campaign_finished", "wall_time": 2.1, "campaign_id": "c",
+             "cells_done": 2, "cells_failed": 0, "duration_s": 2.1},
+        ]
+
+    def test_absent_without_campaign_events(self):
+        assert "campaign" not in build_report(sample_events())
+        report = build_report([])
+        assert "campaign" not in report
+        validate_report(report)
+        format_report(report)
+
+    def test_built_validated_and_rendered(self):
+        report = build_report(sample_events() + self._campaign_events())
+        validate_report(report)
+        campaign = report["campaign"]
+        assert campaign["cells_total"] == 2
+        assert campaign["cells_done"] == 2
+        assert campaign["complete"] is True
+        text = format_report(report)
+        assert "Campaign: 2/2 cells done" in text
+        json.loads(report_to_json(report))
+
+    def test_zero_cell_campaign(self):
+        events = [
+            {"type": "campaign_started", "wall_time": 0.0, "campaign_id": "c",
+             "cells_total": 0, "max_workers": 2},
+            {"type": "campaign_finished", "wall_time": 0.1, "campaign_id": "c",
+             "cells_done": 0, "cells_failed": 0, "duration_s": 0.1},
+        ]
+        report = build_report(events)
+        validate_report(report)
+        campaign = report["campaign"]
+        assert campaign["cells_total"] == 0
+        assert campaign["throughput_cells_per_s"] == 0.0
+        assert campaign["eta_s"] is None
+        assert campaign["duration_p50_s"] is None
+        # rendering an empty campaign must not divide by zero
+        assert "Campaign: 0/0 cells done" in format_report(report)
+
+    def test_incomplete_campaign_flagged(self):
+        report = build_report(self._campaign_events()[:-2])
+        validate_report(report)
+        assert report["campaign"]["complete"] is False
+        assert "INCOMPLETE" in format_report(report)
+
+    def test_campaign_section_missing_field_rejected(self):
+        report = build_report(self._campaign_events())
+        del report["campaign"]["cells_total"]
+        with pytest.raises(ReportSchemaError, match="cells_total"):
+            validate_report(report)
+        report["campaign"] = "not a dict"
+        with pytest.raises(ReportSchemaError, match="object"):
+            validate_report(report)

@@ -59,7 +59,9 @@ def assert_worlds_match_scalars(batch, scalars, total):
 def profile_scenarios(draw):
     n_worlds = draw(st.integers(1, 5))
     total = draw(st.integers(4, 48))
-    n_rel = draw(st.integers(0, 5))
+    # Cap at total so the [1]*n_rel fallback below can never release
+    # more nodes than the machine has (total >= 4, so min() is safe).
+    n_rel = draw(st.integers(0, min(5, total)))
     rel_nodes = [draw(st.integers(1, max(1, total // 3))) for _ in range(n_rel)]
     while sum(rel_nodes) > total:
         rel_nodes = [max(n // 2, 1) for n in rel_nodes]
