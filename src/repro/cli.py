@@ -14,6 +14,9 @@ Installed as the ``repro-sched`` console script::
     repro-sched scheduling --parallel 4 --progress --journal campaign.jsonl
     repro-sched campaign campaign.jsonl --summary
     repro-sched campaign campaign.jsonl --check
+    repro-sched trace --detail -o trace.jsonl
+    repro-sched explain trace.jsonl --job 42
+    repro-sched timeline trace.jsonl --metric util queue backlog
 """
 
 from __future__ import annotations
@@ -32,12 +35,14 @@ from repro.core.experiment import (
 from repro.core.registry import POLICY_NAMES, PREDICTOR_NAMES
 from repro.core.tables import format_table
 from repro.experiments.misprediction import DEFAULT_ERROR_LEVELS, ERROR_KINDS
+from repro.obs.timeseries import TIMESERIES_METRICS
 from repro.workloads.archive import PAPER_WORKLOADS, load_paper_workload
 from repro.workloads.stats import summarize
 from repro.workloads.transform import compress_interarrival
 
 __all__ = ["main", "build_parser", "run_config", "run_trace",
-           "run_report_from_trace", "run_misprediction", "run_campaign"]
+           "run_report_from_trace", "run_misprediction", "run_campaign",
+           "run_explain", "run_timeline"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -212,7 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("-o", "--out", default="trace.jsonl",
                       help="JSONL event file to write")
     p_tr.add_argument("--detail", action="store_true",
-                      help="also emit per-estimate cache_hit/cache_miss events")
+                      help="also emit per-estimate cache_hit/cache_miss "
+                      "events and decision provenance (start_blocked / "
+                      "reservation_binding / backfill_hole_used)")
+    p_tr.add_argument("--from", dest="from_file", default=None, metavar="FILE",
+                      help="inspect an existing trace instead of replaying: "
+                      "--summary/--check read FILE and nothing is written")
     p_tr.add_argument("--wait-pred", default="none",
                       choices=["none", "forward", "state"],
                       help="also attach a wait-time predictor observer, so "
@@ -225,6 +235,45 @@ def build_parser() -> argparse.ArgumentParser:
                       "and the started/finished counts against the job count")
     p_tr.add_argument("--metrics", action="store_true",
                       help="print the merged metrics registry as JSON")
+
+    p_ex = sub.add_parser(
+        "explain",
+        help="explain why a job waited: decision timeline and wait "
+        "decomposition from a recorded trace (best with `trace --detail`)",
+    )
+    p_ex.add_argument("trace", help="JSONL trace from `repro-sched trace`")
+    p_ex.add_argument("--job", type=int, nargs="+", required=True,
+                      metavar="ID", help="job id(s) to explain")
+    p_ex.add_argument("--policy", default=None,
+                      help="policy name when the trace interleaves several "
+                      "replays (e.g. Backfill, FCFS)")
+    p_ex.add_argument("--json", action="store_true",
+                      help="emit the explanation(s) as JSON")
+    p_ex.add_argument("--no-timeline", action="store_true",
+                      help="omit the per-event timeline from text output")
+
+    p_tl = sub.add_parser(
+        "timeline",
+        help="render scheduler state over simulated time (sparklines) "
+        "rebuilt from a recorded trace",
+    )
+    p_tl.add_argument("trace", help="JSONL trace from `repro-sched trace`")
+    p_tl.add_argument("--metric", nargs="+", default=["util"],
+                      choices=sorted(TIMESERIES_METRICS), metavar="M",
+                      help="metrics to render: "
+                      + ", ".join(sorted(TIMESERIES_METRICS)))
+    p_tl.add_argument("--policy", default=None,
+                      help="policy name when the trace interleaves several "
+                      "replays")
+    p_tl.add_argument("--total-nodes", type=int, default=None,
+                      help="machine size (default: inferred from peak "
+                      "concurrent allocation)")
+    p_tl.add_argument("--width", type=int, default=60,
+                      help="sparkline width in columns")
+    p_tl.add_argument("--max-points", type=int, default=2048,
+                      help="reservoir size of the rebuilt series")
+    p_tl.add_argument("-o", "--out", default=None, metavar="FILE",
+                      help="also write the raw points as JSONL")
 
     p_ga = sub.add_parser("ga-search", help="genetic template search (§2.1)")
     p_ga.add_argument("--workload", default="ANL", choices=sorted(PAPER_WORKLOADS))
@@ -398,6 +447,44 @@ def run_misprediction(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_trace_summary(events: list, *, title: str, source: str) -> str:
+    """The ``--summary`` rendering — an explicit message for an empty
+    trace instead of a contentless zero-row table."""
+    from repro.obs import summarize_events
+
+    if not events:
+        return f"empty trace (0 events): {source}"
+    return format_table(summarize_events(events), title=title)
+
+
+def _inspect_trace_file(args: argparse.Namespace) -> int:
+    """``trace --from FILE``: check/summarize an existing trace."""
+    from repro.obs import TraceSchemaError, read_jsonl, validate_events
+
+    try:
+        events = read_jsonl(args.from_file)
+    except (OSError, TraceSchemaError) as exc:
+        print(f"trace FAILED: cannot read {args.from_file}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.check:
+        try:
+            n = validate_events(events)
+        except TraceSchemaError as exc:
+            print(f"trace check FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(f"trace check OK: {n} events schema-valid", file=sys.stderr)
+    if args.summary or not args.check:
+        print(
+            _format_trace_summary(
+                events,
+                title=f"trace summary ({args.from_file})",
+                source=args.from_file,
+            )
+        )
+    return 0
+
+
 def run_trace(args: argparse.Namespace) -> int:
     """The ``trace`` subcommand: replay under a tracer, then inspect."""
     import json
@@ -410,11 +497,13 @@ def run_trace(args: argparse.Namespace) -> int:
         TraceSchemaError,
         merge_snapshots,
         read_jsonl,
-        summarize_events,
         validate_events,
     )
     from repro.predictors.base import PointEstimator
     from repro.scheduler.simulator import Simulator
+
+    if args.from_file:
+        return _inspect_trace_file(args)
 
     wl = load_paper_workload(
         args.workload, n_jobs=None if args.n_jobs <= 0 else args.n_jobs,
@@ -504,9 +593,10 @@ def run_trace(args: argparse.Namespace) -> int:
 
     if args.summary:
         print(
-            format_table(
-                summarize_events(events),
+            _format_trace_summary(
+                events,
                 title=f"trace summary ({args.workload}, {args.predictor})",
+                source=args.out,
             )
         )
     if args.metrics:
@@ -584,11 +674,104 @@ def run_campaign(args: argparse.Namespace) -> int:
     except (OSError, TraceSchemaError) as exc:
         print(f"campaign summary FAILED: {exc}", file=sys.stderr)
         return 1
+    if not events:
+        # An all-zero summary of nothing reads like a finished campaign;
+        # say what actually happened instead.
+        print(f"empty campaign journal (0 events): {args.journal}")
+        return 0
     summary = summarize_campaign(events)
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
     else:
         print(_format_campaign_summary(summary))
+    return 0
+
+
+def run_explain(args: argparse.Namespace) -> int:
+    """The ``explain`` subcommand: per-job wait decomposition."""
+    import json
+
+    from repro.obs import (
+        TraceSchemaError,
+        explain_job,
+        format_explanation,
+        read_jsonl,
+    )
+
+    try:
+        events = read_jsonl(args.trace)
+    except (OSError, TraceSchemaError) as exc:
+        print(f"explain FAILED: cannot read trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not events:
+        print(f"explain FAILED: empty trace (0 events): {args.trace}",
+              file=sys.stderr)
+        return 1
+    explanations = []
+    for job_id in args.job:
+        try:
+            explanations.append(explain_job(events, job_id, policy=args.policy))
+        except ValueError as exc:
+            print(f"explain FAILED: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        payload = explanations[0] if len(explanations) == 1 else explanations
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            "\n\n".join(
+                format_explanation(exp, timeline=not args.no_timeline)
+                for exp in explanations
+            )
+        )
+    return 0
+
+
+def run_timeline(args: argparse.Namespace) -> int:
+    """The ``timeline`` subcommand: state series rebuilt from a trace."""
+    from repro.obs import (
+        StateSeries,
+        TraceSchemaError,
+        format_timeseries,
+        read_jsonl,
+    )
+
+    try:
+        events = read_jsonl(args.trace)
+    except (OSError, TraceSchemaError) as exc:
+        print(f"timeline FAILED: cannot read trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not events:
+        print(f"timeline FAILED: empty trace (0 events): {args.trace}",
+              file=sys.stderr)
+        return 1
+    try:
+        series = StateSeries.from_events(
+            events,
+            policy=args.policy,
+            total_nodes=args.total_nodes,
+            max_points=args.max_points,
+        )
+    except ValueError as exc:
+        print(f"timeline FAILED: {exc}", file=sys.stderr)
+        return 1
+    if not series.points:
+        print(
+            f"timeline FAILED: no job life-cycle events in {args.trace}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.out:
+        n = series.to_jsonl(args.out)
+        print(f"wrote {args.out} ({n} points)", file=sys.stderr)
+    print(
+        "\n\n".join(
+            format_timeseries(series, metric, width=args.width)
+            for metric in args.metric
+        )
+    )
     return 0
 
 
@@ -660,6 +843,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_trace(args)
     if args.command == "campaign":
         return run_campaign(args)
+    if args.command == "explain":
+        return run_explain(args)
+    if args.command == "timeline":
+        return run_timeline(args)
     if args.command == "misprediction":
         return run_misprediction(args)
     if args.command == "ga-search":

@@ -26,6 +26,12 @@ from repro.obs.campaign import (
     resource_probe,
     summarize_campaign,
 )
+from repro.obs.explain import (
+    WAIT_COMPONENTS,
+    explain_job,
+    format_explanation,
+    summarize_wait_components,
+)
 from repro.obs.instrument import Instrumentation
 from repro.obs.metrics import (
     BACKFILL_DEPTH_BUCKETS,
@@ -51,16 +57,24 @@ from repro.obs.report import (
     validate_report,
 )
 from repro.obs.schema import (
+    BLOCKER_KINDS,
     CAMPAIGN_EVENT_TYPES,
     CELL_FAILURE_KINDS,
     EVENT_TYPES,
     PREDICTION_RESOLVED_KINDS,
+    PROVENANCE_EVENT_TYPES,
     TraceSchemaError,
     read_jsonl,
     summarize_events,
     validate_event,
     validate_events,
     validate_jsonl,
+)
+from repro.obs.timeseries import (
+    TIMESERIES_METRICS,
+    StateSeries,
+    format_timeseries,
+    sparkline,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -98,6 +112,8 @@ __all__ = [
     "CAMPAIGN_EVENT_TYPES",
     "CELL_FAILURE_KINDS",
     "PREDICTION_RESOLVED_KINDS",
+    "PROVENANCE_EVENT_TYPES",
+    "BLOCKER_KINDS",
     "TraceSchemaError",
     "validate_event",
     "validate_events",
@@ -125,4 +141,12 @@ __all__ = [
     "read_campaign_journal",
     "check_campaign_journal",
     "summarize_campaign",
+    "StateSeries",
+    "TIMESERIES_METRICS",
+    "sparkline",
+    "format_timeseries",
+    "WAIT_COMPONENTS",
+    "explain_job",
+    "summarize_wait_components",
+    "format_explanation",
 ]

@@ -18,6 +18,17 @@ with a :class:`~repro.obs.trace.Tracer` and fixes the cost knobs:
   pass ``audit=True`` to build one sharing the bundle's tracer.  The
   engines bind the audited code paths only when this is set, so the
   default replay executes zero audit instructions.
+- ``provenance`` — emit decision-provenance events
+  (``start_blocked``/``reservation_binding``/``backfill_hole_used``)
+  from the policies' traced walks, attributing each queued job's delay
+  to the running job or reservation that binds it.  Follows ``detail``
+  when unset; requires an enabled tracer to have any effect (the
+  engine's ``provenance_tracer`` gate stays ``None`` otherwise).
+- ``timeseries`` — a :class:`~repro.obs.timeseries.StateSeries` sampler
+  attached to the engine as an observer, recording queue depth, running
+  jobs, utilization, fragmentation, and backlog over *simulated* time.
+  ``None`` by default; pass ``timeseries=True`` to build one with
+  default capacity, or an existing :class:`StateSeries` to share.
 
 The default ``Instrumentation()`` — fresh registry, shared null tracer,
 all knobs off — is what every :class:`~repro.scheduler.Simulator` gets
@@ -37,7 +48,8 @@ __all__ = ["Instrumentation"]
 class Instrumentation:
     """Metrics registry + tracer + audit + cost knobs, handed to an engine."""
 
-    __slots__ = ("registry", "tracer", "detail", "time_passes", "audit")
+    __slots__ = ("registry", "tracer", "detail", "time_passes", "audit",
+                 "provenance", "timeseries")
 
     def __init__(
         self,
@@ -47,6 +59,8 @@ class Instrumentation:
         detail: bool = False,
         time_passes: bool | None = None,
         audit: PredictionAudit | bool | None = None,
+        provenance: bool | None = None,
+        timeseries: "StateSeries | bool | None" = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -61,10 +75,19 @@ class Instrumentation:
         elif audit is False:
             audit = None
         self.audit = audit
+        self.provenance = self.detail if provenance is None else bool(provenance)
+        if timeseries is True:
+            from repro.obs.timeseries import StateSeries
+
+            timeseries = StateSeries()
+        elif timeseries is False:
+            timeseries = None
+        self.timeseries = timeseries
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Instrumentation(tracing={self.tracer.enabled}, "
             f"detail={self.detail}, time_passes={self.time_passes}, "
-            f"audit={self.audit is not None})"
+            f"audit={self.audit is not None}, provenance={self.provenance}, "
+            f"timeseries={self.timeseries is not None})"
         )

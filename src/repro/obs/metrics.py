@@ -344,6 +344,67 @@ def _prometheus_name(name: str) -> str:
     return cleaned
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a raw label value per the text-exposition rules:
+    backslash, double quote, and line feed."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _split_labels(name: str) -> tuple[str, str]:
+    """Split ``family{key="value",...}`` into the bare family name and a
+    re-escaped label block (``""`` when the name carries no labels).
+
+    Registry names may embed a Prometheus-style label block; values may
+    use ``\\"`` / ``\\\\`` escapes or contain raw ``"`` -free specials
+    (newlines included) directly.  A name whose brace block does not
+    parse is treated as label-free: the whole name is sanitized into the
+    family, which is also the pre-label behavior.
+    """
+    brace = name.find("{")
+    if brace < 0 or not name.endswith("}"):
+        return name, ""
+    family, block = name[:brace], name[brace + 1 : -1]
+    pairs: list[tuple[str, str]] = []
+    i, n = 0, len(block)
+    while i < n:
+        eq = block.find('="', i)
+        if eq < 0:
+            return name, ""  # malformed: no key="..." ahead
+        key = block[i:eq].strip()
+        if not key:
+            return name, ""
+        # Scan the quoted value, honoring backslash escapes.
+        value_chars: list[str] = []
+        j = eq + 2
+        while j < n:
+            c = block[j]
+            if c == "\\" and j + 1 < n:
+                nxt = block[j + 1]
+                value_chars.append(
+                    {"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt)
+                )
+                j += 2
+                continue
+            if c == '"':
+                break
+            value_chars.append(c)
+            j += 1
+        else:
+            return name, ""  # unterminated value
+        pairs.append((key, "".join(value_chars)))
+        i = j + 1
+        if i < n and block[i] == ",":
+            i += 1
+    if not pairs:
+        return name, ""
+    rendered = ",".join(
+        f'{_prometheus_name(k)}="{_escape_label_value(v)}"' for k, v in pairs
+    )
+    return family, "{" + rendered + "}"
+
+
 def format_prometheus(snapshot: Mapping) -> str:
     """Prometheus text-exposition (v0.0.4) rendering of a snapshot.
 
@@ -352,25 +413,49 @@ def format_prometheus(snapshot: Mapping) -> str:
     keep their name, histograms expand to cumulative ``_bucket{le=...}``
     series plus ``_sum``/``_count``.  Families are emitted sorted by
     metric name, so output is deterministic for a given snapshot.
+
+    Registry names may carry a label block (``passes{policy="FCFS"}``):
+    the block is parsed off, label values are re-escaped per the
+    exposition rules (``\\`` ``"`` and newline), and the ``# HELP`` /
+    ``# TYPE`` header is emitted exactly once per *family* — labeled
+    series of one family share a single header, and a family with zero
+    observations (a never-incremented counter, an empty histogram) is
+    still emitted in full so scrapers see the series exists.
     """
     lines: list[str] = []
+    seen_families: set[str] = set()
+
+    def header(family: str, source_name: str, ptype: str) -> None:
+        if family in seen_families:
+            return
+        seen_families.add(family)
+        help_text = source_name.split("{", 1)[0]
+        lines.append(f"# HELP {family} repro metric {help_text}")
+        lines.append(f"# TYPE {family} {ptype}")
+
     for name in sorted(snapshot.get("counters", {})):
-        prom = _prometheus_name(name)
-        lines.append(f"# TYPE {prom}_total counter")
-        lines.append(f"{prom}_total {snapshot['counters'][name]}")
+        base, labels = _split_labels(name)
+        family = _prometheus_name(base) + "_total"
+        header(family, name, "counter")
+        lines.append(f"{family}{labels} {snapshot['counters'][name]}")
     for name in sorted(snapshot.get("gauges", {})):
-        prom = _prometheus_name(name)
-        lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {snapshot['gauges'][name]:g}")
+        base, labels = _split_labels(name)
+        family = _prometheus_name(base)
+        header(family, name, "gauge")
+        lines.append(f"{family}{labels} {snapshot['gauges'][name]:g}")
     for name in sorted(snapshot.get("histograms", {})):
         hist = snapshot["histograms"][name]
-        prom = _prometheus_name(name)
-        lines.append(f"# TYPE {prom} histogram")
+        base, labels = _split_labels(name)
+        family = _prometheus_name(base)
+        header(family, name, "histogram")
+        inner = labels[1:-1] + "," if labels else ""
         cumulative = 0
         for bound, count in zip(hist["bounds"], hist["counts"]):
             cumulative += count
-            lines.append(f'{prom}_bucket{{le="{bound:g}"}} {cumulative}')
-        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
-        lines.append(f"{prom}_sum {hist['sum']:g}")
-        lines.append(f"{prom}_count {hist['count']}")
+            lines.append(
+                f'{family}_bucket{{{inner}le="{bound:g}"}} {cumulative}'
+            )
+        lines.append(f'{family}_bucket{{{inner}le="+Inf"}} {hist["count"]}')
+        lines.append(f"{family}_sum{labels} {hist['sum']:g}")
+        lines.append(f"{family}_count{labels} {hist['count']}")
     return "\n".join(lines) + ("\n" if lines else "")

@@ -24,6 +24,13 @@ fourth, optional ``campaign`` section: the replayed
 done/failed/unfinished, throughput, utilization, duration quantiles,
 and stragglers.
 
+Traces recorded with decision provenance (``--detail``) gain an
+optional ``explainability`` section: the per-policy aggregate wait
+decomposition from :func:`repro.obs.explain.summarize_wait_components`
+— where the waiting time went (blocked on running jobs, on
+reservations, on queue discipline, or unattributed scheduler latency).
+Omitted entirely when the trace carries no provenance events.
+
 The report is a plain JSON-serializable dict (``--json``), validated by
 :func:`validate_report` (the CI report-smoke job's gate), and rendered
 as aligned ASCII tables by :func:`format_report`.
@@ -183,6 +190,15 @@ def _overhead_section(
     return section
 
 
+def _explainability_section(events: list[Mapping]) -> list[dict]:
+    """Per-policy wait decomposition — ``[]`` when the trace has no
+    provenance events (recorded without ``--detail``)."""
+    # Lazy import for the same reason as the campaign section's.
+    from repro.obs.explain import summarize_wait_components
+
+    return summarize_wait_components(events)
+
+
 def _campaign_section(events: list[Mapping]) -> dict | None:
     """The optional campaign section — ``None`` when the trace carries
     no campaign events (the common single-process case)."""
@@ -222,6 +238,9 @@ def build_report(
     campaign = _campaign_section(events)
     if campaign is not None:
         report["campaign"] = campaign
+    explainability = _explainability_section(events)
+    if explainability:
+        report["explainability"] = explainability
     return report
 
 
@@ -272,6 +291,18 @@ def validate_report(report: object) -> None:
         for field in ("cells_total", "cells_done", "cells_failed", "complete"):
             if field not in campaign:
                 raise ReportSchemaError(f"campaign section missing {field!r}")
+    explainability = report.get("explainability")
+    if explainability is not None:
+        if not isinstance(explainability, list):
+            raise ReportSchemaError("explainability must be a list")
+        from repro.obs.explain import WAIT_COMPONENTS
+
+        for row in explainability:
+            for field in ("policy", "jobs", "total_wait_s", *WAIT_COMPONENTS):
+                if field not in row:
+                    raise ReportSchemaError(
+                        f"explainability row missing {field!r}"
+                    )
 
 
 # ----------------------------------------------------------------------
@@ -374,6 +405,36 @@ def format_report(report: Mapping) -> str:
             f"scheduling passes: {pd['count']}  mean={pd['mean_s'] * 1e6:.1f}us  "
             f"p50={pd['p50_s'] * 1e6:.1f}us  p90={pd['p90_s'] * 1e6:.1f}us  "
             f"p99={pd['p99_s'] * 1e6:.1f}us"
+        )
+
+    explainability = report.get("explainability")
+    if explainability:
+        exp_rows = []
+        for row in explainability:
+            total = row["total_wait_s"]
+
+            def pct(value: float, _total: float = total) -> object:
+                return round(100.0 * value / _total, 1) if _total else 0.0
+
+            exp_rows.append(
+                {
+                    "Policy": row["policy"],
+                    "Jobs": row["jobs"],
+                    "Total wait (min)": _fmt_minutes(total),
+                    "Running %": pct(row["blocked_on_running_s"]),
+                    "Reservations %": pct(row["blocked_on_reservations_s"]),
+                    "Queue %": pct(row["blocked_on_queue_s"]),
+                    "Latency %": pct(row["scheduler_latency_s"]),
+                }
+            )
+        parts.append(
+            format_table(
+                exp_rows,
+                title=(
+                    "Explainability: where the waiting went "
+                    "(components sum to the realized wait)"
+                ),
+            )
         )
 
     campaign = report.get("campaign")

@@ -40,6 +40,32 @@ Event taxonomy
                       ``parent``)
 ==================== ======================================================
 
+Decision provenance
+-------------------
+Provenance events explain *why* a queued job is not running: which
+running job, reservation, or queue-ordering rule was the binding
+constraint at each scheduling pass.  They are emitted change-only (a
+new event appears only when the binding constraint moves) and only when
+the instrumentation's ``provenance`` knob is on (implied by detail
+mode), so plain tracing and the disabled path pay nothing.  Blocker
+attribution is shared across all events via ``blocker_kind`` (one of
+:data:`BLOCKER_KINDS`) plus the blocker's id in ``blocker_id`` (a job
+id for ``running_job``/``queued_reservation``/``queue_order``, a
+reservation id for ``active_reservation``/``advance_reservation``).
+
+===================== =====================================================
+``start_blocked``      a queued job cannot start now; the binding
+                       constraint is ``blocker_kind``/``blocker_id``
+                       (FCFS/LWF/EASY queue walks)
+``reservation_binding`` a reserved job's promised start is anchored on the
+                       release of ``blocker_kind``/``blocker_id``
+                       (``start_s`` — backfill/EASY profile walks)
+``backfill_hole_used`` an out-of-order start slotted into the hole ahead
+                       of a blocked earlier arrival (``ahead_job_id``),
+                       open from ``hole_start_s`` until the blocked job's
+                       reserved start ``hole_end_s``
+===================== =====================================================
+
 Campaign events
 ---------------
 The parallel table layer (:mod:`repro.core.parallel`) journals one
@@ -85,6 +111,8 @@ __all__ = [
     "CAMPAIGN_EVENT_TYPES",
     "CELL_FAILURE_KINDS",
     "PREDICTION_RESOLVED_KINDS",
+    "PROVENANCE_EVENT_TYPES",
+    "BLOCKER_KINDS",
     "TraceSchemaError",
     "validate_event",
     "validate_events",
@@ -110,6 +138,9 @@ _REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
         "job_id", "sim_time", "kind", "predictor", "predicted_s", "actual_s",
     ),
     "span": ("name", "duration_s"),
+    "start_blocked": ("job_id", "sim_time", "blocker_kind"),
+    "reservation_binding": ("job_id", "sim_time", "start_s", "blocker_kind"),
+    "backfill_hole_used": ("job_id", "sim_time", "hole_start_s"),
     "campaign_started": ("campaign_id", "cells_total", "max_workers"),
     "cell_dispatched": ("campaign_id", "cell_index", "attempt"),
     "cell_heartbeat": ("campaign_id", "cells_done", "cells_running"),
@@ -134,20 +165,38 @@ PREDICTION_RESOLVED_KINDS = frozenset({"run_time", "wait_time"})
 #: Values ``cell_failed.kind`` may take (see repro.core.parallel.CellFailure).
 CELL_FAILURE_KINDS = frozenset({"error", "timeout"})
 
+#: The decision-provenance subset (emitted only under the ``provenance``
+#: instrumentation knob; see the "Decision provenance" taxonomy above).
+PROVENANCE_EVENT_TYPES = frozenset(
+    {"start_blocked", "reservation_binding", "backfill_hole_used"}
+)
+
+#: Values ``blocker_kind`` may take on provenance events.
+BLOCKER_KINDS = frozenset({
+    "running_job",          # a running job's node release is the constraint
+    "active_reservation",   # an advance reservation currently holding nodes
+    "advance_reservation",  # a pending advance reservation's future carve
+    "queued_reservation",   # a backfill reservation promised to another queued job
+    "queue_order",          # the job fits, but policy order puts another first
+    "unknown",              # the anchor matched no tracked release
+})
+
 #: Fields that, when present, must be numbers.
 _NUMERIC_FIELDS = (
     "wall_time", "sim_time", "wait_s", "run_s", "duration_s",
     "start_s", "previous_start_s", "scheduled_start_s", "predicted_wait_s",
     "predicted_run_s", "predicted_s", "actual_s", "error_s",
-    "cpu_s", "max_rss_kb",
+    "cpu_s", "max_rss_kb", "hole_start_s", "hole_end_s",
 )
 #: Fields that, when present, must be ints.
 _INT_FIELDS = ("job_id", "depth", "nodes", "res_id",
                "cell_index", "cells_total", "cells_done", "cells_running",
-               "cells_failed", "max_workers", "attempt", "attempts", "pid")
+               "cells_failed", "max_workers", "attempt", "attempts", "pid",
+               "blocker_id", "ahead_job_id", "free_nodes")
 #: Fields that, when present, must be strings.
 _STR_FIELDS = ("policy", "cause", "name", "parent", "error", "predictor",
-               "source", "kind", "campaign_id", "workload", "algorithm")
+               "source", "kind", "campaign_id", "workload", "algorithm",
+               "blocker_kind")
 
 
 class TraceSchemaError(ValueError):
@@ -176,6 +225,13 @@ def validate_event(event: object) -> None:
         raise TraceSchemaError(
             f"{etype}: kind must be one of {sorted(PREDICTION_RESOLVED_KINDS)}, "
             f"got {event.get('kind')!r}"
+        )
+    if etype in ("start_blocked", "reservation_binding") and (
+        event.get("blocker_kind") not in BLOCKER_KINDS
+    ):
+        raise TraceSchemaError(
+            f"{etype}: blocker_kind must be one of {sorted(BLOCKER_KINDS)}, "
+            f"got {event.get('blocker_kind')!r}"
         )
     if etype == "cell_failed" and event.get("kind") not in CELL_FAILURE_KINDS:
         raise TraceSchemaError(

@@ -1,0 +1,330 @@
+"""Simulated-time state series.
+
+A :class:`StateSeries` samples the simulator's state — queue depth,
+running-job count, node utilization, free-node fragmentation, backlog
+node-seconds — over *simulated* time.  Sampling is event-driven: the
+series rides the simulator's observer hooks (``on_submit`` /
+``on_start`` / ``on_finish``), so every state change is a candidate
+sample and idle stretches cost nothing; there is no wall-clock polling
+and replays stay deterministic.
+
+Two producers, one consumer surface:
+
+- **Live**: pass ``timeseries=True`` (or an instance) to
+  :class:`~repro.obs.instrument.Instrumentation` and the simulator
+  attaches the series as an observer.  Zero-cost when absent — the
+  simulator's observer hooks only run when observers exist.
+- **Offline**: :meth:`StateSeries.from_events` reconstructs the series
+  from any recorded trace by replaying its ``job_submitted`` /
+  ``job_started`` / ``job_finished`` events.  The machine size is not
+  in the trace, so pass ``total_nodes`` or accept the peak concurrent
+  allocation as an approximation (flagged on the instance).
+
+Memory is bounded by a max-points reservoir: when the series overflows,
+every second point is dropped (the newest is always kept) and a minimum
+sample spacing kicks in — samples arriving closer than ``min_dt``
+*overwrite* the latest point instead of appending, so the series always
+ends at the current state while dense bursts collapse.  Rendering is
+ASCII sparklines (:func:`sparkline` / :func:`format_timeseries`), and
+:meth:`StateSeries.to_jsonl` exports the raw points.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Sequence
+
+__all__ = [
+    "StateSeries",
+    "TIMESERIES_METRICS",
+    "sparkline",
+    "format_timeseries",
+]
+
+#: CLI metric name -> point field.
+TIMESERIES_METRICS = {
+    "util": "util",
+    "queue": "queued",
+    "running": "running",
+    "backlog": "backlog_node_s",
+    "frag": "stranded_free",
+    "free": "free_nodes",
+}
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+class StateSeries:
+    """Event-driven sampler of scheduler state over simulated time.
+
+    Each point is a flat dict::
+
+        {"t": sim_time, "queued": n, "running": n, "used_nodes": n,
+         "free_nodes": n, "util": used/total, "stranded_free": n,
+         "backlog_node_s": sum(nodes * queued_age)}
+
+    ``stranded_free`` is the fragmentation signal: the free nodes that
+    help nobody, i.e. ``free_nodes`` whenever the queue is non-empty but
+    even its narrowest request does not fit (else 0).
+    """
+
+    def __init__(self, max_points: int = 2048) -> None:
+        if max_points < 8:
+            raise ValueError(f"max_points must be >= 8, got {max_points}")
+        self.max_points = int(max_points)
+        self.points: list[dict] = []
+        #: Minimum spacing between kept samples; 0 until the reservoir
+        #: first overflows, then grows with each decimation.
+        self.min_dt = 0.0
+        #: True when the offline rebuild had to infer the machine size.
+        self.approximate_total = False
+
+    # -- live observer hooks -------------------------------------------
+    def on_submit(self, view, qj) -> None:
+        self._sample_view(view)
+
+    def on_start(self, view, job) -> None:
+        self._sample_view(view)
+
+    def on_finish(self, view, job) -> None:
+        self._sample_view(view)
+
+    def _sample_view(self, view) -> None:
+        t = view.now
+        queued = view.queued
+        free = view.free_nodes
+        total = view.total_nodes
+        backlog = 0.0
+        min_req = None
+        for qj in queued:
+            n = qj.job.nodes
+            backlog += n * (t - qj.job.submit_time)
+            if min_req is None or n < min_req:
+                min_req = n
+        self.push(
+            t,
+            queued=len(queued),
+            running=len(view.running),
+            free_nodes=free,
+            total_nodes=total,
+            min_request=min_req,
+            backlog_node_s=backlog,
+        )
+
+    # -- core ----------------------------------------------------------
+    def push(
+        self,
+        t: float,
+        *,
+        queued: int,
+        running: int,
+        free_nodes: int,
+        total_nodes: int,
+        min_request: int | None,
+        backlog_node_s: float,
+    ) -> None:
+        """Record one sample through the reservoir."""
+        used = total_nodes - free_nodes
+        stranded = (
+            free_nodes
+            if (min_request is not None and free_nodes < min_request)
+            else 0
+        )
+        point = {
+            "t": t,
+            "queued": queued,
+            "running": running,
+            "used_nodes": used,
+            "free_nodes": free_nodes,
+            "util": used / total_nodes if total_nodes else 0.0,
+            "stranded_free": stranded,
+            "backlog_node_s": backlog_node_s,
+        }
+        pts = self.points
+        if pts and t - pts[-1]["t"] < self.min_dt:
+            # Dense burst: keep only its latest state.
+            pts[-1] = point
+            return
+        pts.append(point)
+        if len(pts) > self.max_points:
+            keep = pts[::2]
+            if keep[-1] is not pts[-1]:
+                keep.append(pts[-1])
+            pts[:] = keep
+            span = pts[-1]["t"] - pts[0]["t"]
+            self.min_dt = max(self.min_dt * 2.0, span / self.max_points)
+
+    def values(self, metric: str) -> list[float]:
+        """The series of one metric (a key of :data:`TIMESERIES_METRICS`
+        or a raw point field)."""
+        field = TIMESERIES_METRICS.get(metric, metric)
+        try:
+            return [p[field] for p in self.points]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {metric!r}; expected one of "
+                f"{sorted(TIMESERIES_METRICS)} or a point field"
+            ) from None
+
+    def to_jsonl(self, destination: str | IO[str]) -> int:
+        """Write one JSON object per point; return how many were written."""
+        if hasattr(destination, "write"):
+            for point in self.points:
+                destination.write(json.dumps(point) + "\n")
+        else:
+            with open(destination, "w", encoding="utf-8") as fh:
+                for point in self.points:
+                    fh.write(json.dumps(point) + "\n")
+        return len(self.points)
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[dict],
+        *,
+        policy: str | None = None,
+        total_nodes: int | None = None,
+        max_points: int = 2048,
+    ) -> "StateSeries":
+        """Rebuild the series offline from recorded trace events.
+
+        Replays ``job_submitted``/``job_started``/``job_finished`` (for
+        one policy — required when the trace interleaves several).  The
+        trace does not record the machine size, so free/util counts use
+        ``total_nodes`` when given and otherwise the peak concurrent
+        allocation observed (an under-estimate on never-full machines;
+        ``approximate_total`` is set so renderers can flag it).
+        """
+        jobs = _lifecycle_events(events, policy)
+        # First pass when the machine size must be inferred: peak usage.
+        raw: list[tuple] = []
+        queued: dict[int, tuple[float, int]] = {}  # jid -> (submit_t, nodes)
+        running: dict[int, int] = {}  # jid -> nodes
+        used = 0
+        peak_used = 0
+        for event in jobs:
+            etype = event["type"]
+            jid = event["job_id"]
+            t = event["sim_time"]
+            if etype == "job_submitted":
+                queued[jid] = (t, event.get("nodes", 1))
+            elif etype == "job_started":
+                submit_t, nodes = queued.pop(
+                    jid, (t - event.get("wait_s", 0.0), event.get("nodes", 1))
+                )
+                nodes = event.get("nodes", nodes)
+                running[jid] = nodes
+                used += nodes
+                if used > peak_used:
+                    peak_used = used
+            else:  # job_finished
+                nodes = running.pop(jid, 0)
+                used -= nodes
+            backlog = 0.0
+            min_req = None
+            for submit_t, nodes in queued.values():
+                backlog += nodes * (t - submit_t)
+                if min_req is None or nodes < min_req:
+                    min_req = nodes
+            raw.append((t, len(queued), len(running), used, min_req, backlog))
+        series = cls(max_points=max_points)
+        total = total_nodes if total_nodes is not None else peak_used
+        series.approximate_total = total_nodes is None
+        for t, n_queued, n_running, used, min_req, backlog in raw:
+            series.push(
+                t,
+                queued=n_queued,
+                running=n_running,
+                free_nodes=max(total - used, 0),
+                total_nodes=total,
+                min_request=min_req,
+                backlog_node_s=backlog,
+            )
+        return series
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StateSeries(points={len(self.points)}, "
+            f"max_points={self.max_points}, min_dt={self.min_dt})"
+        )
+
+
+def _lifecycle_events(events: Iterable[dict], policy: str | None) -> list[dict]:
+    """Life-cycle events of one policy, in trace order."""
+    lifecycle = ("job_submitted", "job_started", "job_finished")
+    out = []
+    policies = set()
+    for event in events:
+        if event.get("type") not in lifecycle:
+            continue
+        pol = event.get("policy")
+        policies.add(pol)
+        if policy is None or pol == policy:
+            out.append(event)
+    if policy is None and len(policies) > 1:
+        raise ValueError(
+            f"trace interleaves policies {sorted(str(p) for p in policies)}; "
+            "pass policy=... to select one"
+        )
+    if policy is not None and policy not in policies and out == []:
+        raise ValueError(
+            f"no life-cycle events for policy {policy!r}; trace has "
+            f"{sorted(str(p) for p in policies)}"
+        )
+    return out
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render ``values`` as a fixed-width ASCII sparkline.
+
+    Values are bucketed to ``width`` columns (mean per bucket) and
+    scaled to the 8-level block-character ramp; an empty series renders
+    as an empty string.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        # Mean-pool into `width` buckets.
+        pooled = []
+        n = len(values)
+        for i in range(width):
+            lo = i * n // width
+            hi = max((i + 1) * n // width, lo + 1)
+            chunk = values[lo:hi]
+            pooled.append(sum(chunk) / len(chunk))
+        values = pooled
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        level = 4 if hi > 0 else 0
+        return _SPARK_CHARS[level] * len(values)
+    out = []
+    top = len(_SPARK_CHARS) - 1
+    for v in values:
+        level = int((v - lo) / span * top + 0.5)
+        out.append(_SPARK_CHARS[level])
+    return "".join(out)
+
+
+def format_timeseries(
+    series: StateSeries, metric: str = "util", *, width: int = 60
+) -> str:
+    """A small human-readable rendering of one metric of the series."""
+    values = series.values(metric)
+    if not values:
+        return f"{metric}: (no samples)"
+    t0 = series.points[0]["t"]
+    t1 = series.points[-1]["t"]
+    lines = [
+        f"{metric} over simulated time "
+        f"[{t0:.0f}s .. {t1:.0f}s], {len(values)} samples"
+        + (" (total nodes inferred from peak)" if series.approximate_total else ""),
+        sparkline(values, width),
+        f"min={min(values):.3g}  mean={sum(values) / len(values):.3g}  "
+        f"max={max(values):.3g}  last={values[-1]:.3g}",
+    ]
+    return "\n".join(lines)

@@ -28,6 +28,31 @@ from typing import IO, Any, Protocol, runtime_checkable
 
 from repro.obs.metrics import Histogram
 
+try:  # pragma: no cover - exercised when the wheel ships orjson
+    import orjson as _orjson
+except ImportError:  # pragma: no cover
+    _orjson = None
+
+# Serializing the event line dominates JsonlSink.emit, so the encoder is
+# chosen once at import: orjson when available (~8x faster on the flat
+# event dicts the tracer produces), else one reused stdlib encoder —
+# ``json.dumps`` with non-default options rebuilds a JSONEncoder per
+# call, which roughly doubles the cost.  Both produce the same sorted,
+# separator-free lines; the only divergences are cosmetic exponent
+# formatting (``1e-06`` vs ``1e-6``) and non-finite floats, which
+# orjson writes as ``null`` where stdlib emits the non-standard
+# ``Infinity``/``NaN`` tokens (trace events are finite by schema).
+if _orjson is not None:
+    _ORJSON_OPTS = _orjson.OPT_SORT_KEYS | _orjson.OPT_SERIALIZE_NUMPY
+
+    def _encode_line(event: dict) -> str:
+        return _orjson.dumps(event, option=_ORJSON_OPTS).decode("utf-8")
+
+else:
+    _encode_line = json.JSONEncoder(
+        separators=(",", ":"), sort_keys=True
+    ).encode
+
 __all__ = [
     "EventSink",
     "NullSink",
@@ -123,9 +148,7 @@ class JsonlSink:
         self.events_written = 0
 
     def emit(self, event: dict) -> None:
-        self._buffer.append(
-            json.dumps(event, separators=(",", ":"), sort_keys=True)
-        )
+        self._buffer.append(_encode_line(event))
         self.events_written += 1
         if len(self._buffer) >= self._buffer_lines:
             self.flush()

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 import bisect
 import math
+from itertools import repeat
+from operator import itemgetter
 from typing import Sequence
 
 import numpy as np
@@ -46,6 +48,14 @@ from repro.scheduler.policies.base import Policy
 __all__ = ["AvailabilityProfile", "BatchAvailabilityProfile", "BackfillPolicy"]
 
 _INF = math.inf
+
+# Hoisted iterators for the C-speed provenance seed in
+# BackfillPolicy._seed_origin: release-time extractor and an endless
+# supply of the "running_job" tag (itertools.repeat is stateless, so the
+# shared instance is safe to re-zip every pass).
+_RELEASE_TIME = itemgetter(0)
+_RUNNING_JOB_TAGS = repeat("running_job")
+_UNKNOWN_BINDING = ("unknown", None)
 
 
 class AvailabilityProfile:
@@ -785,6 +795,13 @@ class BackfillPolicy(Policy):
         # job_id -> last reserved start, maintained only while tracing so
         # reservation events report moves rather than every replan.
         self._last_reserved: dict[int, float] = {}
+        # job_id -> last (blocker_kind, blocker_id), maintained only under
+        # provenance so binding events report moves rather than every pass.
+        self._last_binding: dict[int, tuple] = {}
+        # The release pairs the current pass's profile was seeded from,
+        # stashed so _seed_origin can attribute them without re-deriving
+        # each running job's release time (view.remaining is not free).
+        self._seed_releases: list[tuple[float, int]] = []
 
     def _seeded_profile(self, view) -> AvailabilityProfile:
         """The pass's availability profile, rebuilt in the scratch object."""
@@ -795,19 +812,61 @@ class BackfillPolicy(Policy):
         for ares in getattr(view, "active_reservations", ()):
             end = ares.end_time
             releases.append((end if end > now else now, ares.nodes))
+        self._seed_releases = releases
         profile = self._profile
         if profile is None or profile.total_nodes != view.total_nodes:
             profile = AvailabilityProfile(now, view.free_nodes, view.total_nodes)
             self._profile = profile
         profile.rebuild(now, view.free_nodes, releases)
         for pres in getattr(view, "reservations", ()):
-            profile.carve(
-                max(pres.effective_start, now),
-                pres.duration,
-                pres.nodes,
-                clamp=True,
-            )
+            carve_start = max(pres.effective_start, now)
+            profile.carve(carve_start, pres.duration, pres.nodes, clamp=True)
         return profile
+
+    def _seed_origin(self, view) -> dict:
+        """Attribution map for the pass's seeded capacity-raising instants.
+
+        Maps release time -> ``(blocker_kind, blocker_id)`` for every
+        instant :meth:`_seeded_profile` seeded the profile with, in the
+        same order (so same-instant collisions resolve identically).
+        Reservation anchors always land on such an instant — or on an
+        earlier queued job's reservation end, which
+        :meth:`_attribute_bindings` layers on top — so looking an anchor
+        up names the binding constraint.  Built only on passes that
+        moved a reservation: most passes move nothing and never need
+        attribution, which keeps provenance mode within its overhead
+        budget.  Release times
+        come from the pairs stashed by :meth:`_seeded_profile` (running
+        jobs first, then active reservations, in seeding order), not
+        from re-deriving ``view.remaining``.
+        """
+        now = view.now
+        releases = self._seed_releases
+        running = view.running
+        if hasattr(running, "ids"):
+            ids = running.ids()
+        else:  # reference views expose plain sequences
+            ids = [rj.job_id for rj in running]
+        # dict(zip(...)) pairs release times with ("running_job", id)
+        # tags entirely in C; zip stops at len(ids), leaving the active
+        # reservations' trailing entries to the loop below.
+        origin: dict = dict(
+            zip(
+                map(_RELEASE_TIME, releases),
+                zip(_RUNNING_JOB_TAGS, ids),
+            )
+        )
+        n_running = len(ids)
+        for ares, (t, _) in zip(
+            getattr(view, "active_reservations", ()), releases[n_running:]
+        ):
+            origin[t] = ("active_reservation", ares.reservation.res_id)
+        for pres in getattr(view, "reservations", ()):
+            carve_start = max(pres.effective_start, now)
+            origin[carve_start + pres.duration] = (
+                "advance_reservation", pres.reservation.res_id,
+            )
+        return origin
 
     def select(self, view) -> Sequence:
         queued = list(view.queued)  # arrival order
@@ -861,42 +920,152 @@ class BackfillPolicy(Policy):
         the reservation *life-cycle*: ``reservation_placed`` the first
         time a job gets a future start, ``reservation_shifted`` whenever
         a replan moves it.
+
+        Under the provenance knob the walk additionally attributes every
+        *moved* reservation to its binding constraint.  A reservation
+        that did not move keeps its binding — its anchor is the same
+        instant — so attribution runs as a per-pass epilogue
+        (:meth:`_attribute_bindings`) over just the moved jobs, and the
+        many passes that move nothing pay only for recording that fact.
+        ``reservation_binding`` is emitted change-only per job;
+        ``backfill_hole_used`` marks each out-of-order start with the
+        earlier blocked arrival whose reservation opened the hole.
         """
         now = view.now
         min_duration = self.min_duration
+        prov = getattr(view, "provenance_tracer", None)
         profile = self._seeded_profile(view)
         last = self._last_reserved
+        first_blocked: tuple[int, float] | None = None
         started = []
-        for qj in queued:
+        started_ids: set[int] = set()
+        moved: list[tuple[int, int, float]] = []
+        for k, qj in enumerate(queued):
             duration = view.estimate(qj)
             if duration < min_duration:
                 duration = min_duration
-            start = profile.reserve(qj.job.nodes, duration)
+            job = qj.job
+            jid = job.job_id  # hoisted: QueuedJob.job_id is a property
+            start = profile.reserve(job.nodes, duration)
+            prev = last.get(jid)
             if start <= now:
                 started.append(qj)
-                last.pop(qj.job_id, None)
+                if prev is not None:
+                    del last[jid]
+                if prov is not None:
+                    started_ids.add(jid)
+                    if first_blocked is not None:
+                        prov.emit(
+                            "backfill_hole_used",
+                            sim_time=now,
+                            job_id=jid,
+                            policy=self.name,
+                            hole_start_s=now,
+                            hole_end_s=first_blocked[1],
+                            ahead_job_id=first_blocked[0],
+                            nodes=job.nodes,
+                        )
                 continue
-            prev = last.get(qj.job_id)
+            if prov is not None and first_blocked is None:
+                first_blocked = (jid, start)
             if prev is None:
                 tracer.emit(
                     "reservation_placed",
                     sim_time=now,
-                    job_id=qj.job_id,
+                    job_id=jid,
                     policy=self.name,
                     cause="backfill_replan",
                     start_s=start,
-                    nodes=qj.job.nodes,
+                    nodes=job.nodes,
                 )
-            elif start != prev:
+            elif start == prev:
+                continue  # reservation unchanged; nothing to record
+            else:
                 tracer.emit(
                     "reservation_shifted",
                     sim_time=now,
-                    job_id=qj.job_id,
+                    job_id=jid,
                     policy=self.name,
                     cause="backfill_replan",
                     start_s=start,
                     previous_start_s=prev,
-                    nodes=qj.job.nodes,
+                    nodes=job.nodes,
                 )
-            last[qj.job_id] = start
+            last[jid] = start
+            if prov is not None:
+                moved.append((k, jid, start))
+        if moved:
+            self._attribute_bindings(view, queued, moved, started_ids, prov)
         return started
+
+    def _attribute_bindings(self, view, queued, moved, started_ids, prov) -> None:
+        """Attribute each moved reservation to its binding constraint.
+
+        Runs once per pass that placed or shifted at least one
+        reservation.  The anchor :meth:`AvailabilityProfile.reserve`
+        returned for a moved job is always a capacity-raising instant,
+        and the origin map — seeded instants (:meth:`_seed_origin`) plus
+        the reservation ends of every queued job ahead of it — names
+        what frees up there.  The walk already recorded everything the
+        map needs: a job that started this pass releases its nodes at
+        ``now + duration`` (its anchor was exactly ``now``), and a
+        blocked job's reservation end is ``_last_reserved[jid] +
+        duration`` (the walk just refreshed it); durations re-read the
+        estimate cache the walk just warmed — directly rather than via
+        :meth:`SchedulerView.estimate`, so detail mode's per-call
+        ``cache_hit`` events and hit counters see only the walk's own
+        lookups.  The replay visits the queue prefix up to the last
+        moved job, resolving each moved job against the map state at
+        its own walk position, and emits ``reservation_binding``
+        change-only per job.
+        """
+        now = view.now
+        min_duration = self.min_duration
+        cache = view._cache  # pass-warm: the walk estimated every prefix job
+        last = self._last_reserved
+        binding = self._last_binding
+        origin = self._seed_origin(view)
+        mi = 0
+        next_k = moved[0][0]
+        n_moved = len(moved)
+        for k, qj in enumerate(queued):
+            jid = qj.job.job_id
+            duration = cache[jid]
+            if duration < min_duration:
+                duration = min_duration
+            if k == next_k:
+                start = moved[mi][2]
+                kind, bid = origin.get(start, _UNKNOWN_BINDING)
+                if binding.get(jid) != (kind, bid):
+                    binding[jid] = (kind, bid)
+                    if bid is None:
+                        prov.emit(
+                            "reservation_binding",
+                            sim_time=now,
+                            job_id=jid,
+                            policy=self.name,
+                            start_s=start,
+                            blocker_kind=kind,
+                        )
+                    else:
+                        prov.emit(
+                            "reservation_binding",
+                            sim_time=now,
+                            job_id=jid,
+                            policy=self.name,
+                            start_s=start,
+                            blocker_kind=kind,
+                            blocker_id=bid,
+                        )
+                mi += 1
+                if mi == n_moved:
+                    return
+                next_k = moved[mi][0]
+                origin[start + duration] = ("queued_reservation", jid)
+                continue
+            if jid in started_ids:
+                origin[now + duration] = ("running_job", jid)
+            else:
+                prev = last.get(jid)
+                if prev is not None:
+                    origin[prev + duration] = ("queued_reservation", jid)

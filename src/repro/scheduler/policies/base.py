@@ -14,13 +14,14 @@ run times, user maxima, or any historical predictor (paper §4).
 
 from __future__ import annotations
 
+import bisect
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.scheduler.simulator import QueuedJob, SchedulerView
 
-__all__ = ["Policy"]
+__all__ = ["Policy", "ReleaseAttributor"]
 
 
 class Policy(ABC):
@@ -35,3 +36,52 @@ class Policy(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+class ReleaseAttributor:
+    """Names the release that first clears a blocked job's node deficit.
+
+    The binding constraint the myopic policies (FCFS, LWF) report on
+    ``start_blocked`` provenance events: releases are the running jobs'
+    estimated finishes plus the active reservations' known ends —
+    extended via :meth:`add` with jobs the current pass already started
+    — accumulated in time order until the deficit clears; the last
+    release consumed is the binding one.  Mirrors the policies' own
+    myopic view: pending advance reservations (which *consume* future
+    capacity) are ignored, exactly as the policies themselves do.
+
+    Estimate calls made here (``view.remaining``) are value-deterministic
+    within an estimator epoch and never alter schedules, so the traced
+    walks that use this stay selection-identical to the plain walks.
+    """
+
+    __slots__ = ("_releases",)
+
+    def __init__(self, view) -> None:
+        now = view.now
+        releases: list[tuple[float, int, int, str, int]] = []
+        for rj in view.running:
+            releases.append(
+                (now + view.remaining(rj), 0, rj.job.nodes,
+                 "running_job", rj.job_id)
+            )
+        for ares in getattr(view, "active_reservations", ()):
+            end = ares.end_time
+            releases.append((
+                end if end > now else now, 1, ares.nodes,
+                "active_reservation", ares.reservation.res_id,
+            ))
+        releases.sort()
+        self._releases = releases
+
+    def add(self, time: float, nodes: int, kind: str, blocker_id: int) -> None:
+        """Record an extra release (a job this pass just started)."""
+        bisect.insort(self._releases, (time, 2, nodes, kind, blocker_id))
+
+    def binding(self, nodes_needed: int, free_now: int) -> tuple[str, int | None]:
+        free = free_now
+        for _, _, nodes, kind, bid in self._releases:
+            free += nodes
+            if free >= nodes_needed:
+                return kind, bid
+        return "unknown", None

@@ -32,32 +32,55 @@ class EASYBackfillPolicy(Policy):
     #: Same degenerate-estimate floor as the conservative variant.
     min_duration: float = 1e-6
 
+    def __init__(self) -> None:
+        # Provenance-only change-detection state: job_id -> last
+        # (blocker_kind, blocker_id) for the head's reservation binding
+        # and for the unprotected jobs' start_blocked attribution.
+        self._last_binding: dict[int, tuple] = {}
+        self._last_blocked: dict[int, tuple] = {}
+
     def select(self, view) -> Sequence:
         queued = list(view.queued)  # arrival order
         if not queued:
             return []
+        now = view.now
         # EASY starts jobs only at `now`, so if even the narrowest queued
         # job exceeds the free nodes nothing can start and the profile
         # (whose reservations are pass-local) need not be built at all.
+        # Kept under provenance too: change-only emission tolerates the
+        # skipped pass (attribution catches up at the next selecting one).
         if view.free_nodes < min(qj.job.nodes for qj in queued):
             return []
-        releases = [
-            (view.now + view.remaining(rj), rj.job.nodes) for rj in view.running
-        ]
-        releases.extend(
-            (max(ares.end_time, view.now), ares.nodes)
-            for ares in getattr(view, "active_reservations", ())
-        )
+        prov = getattr(view, "provenance_tracer", None)
+        origin: dict | None = {} if prov is not None else None
+        if origin is None:
+            releases = [
+                (now + view.remaining(rj), rj.job.nodes) for rj in view.running
+            ]
+            releases.extend(
+                (max(ares.end_time, now), ares.nodes)
+                for ares in getattr(view, "active_reservations", ())
+            )
+        else:
+            releases = []
+            for rj in view.running:
+                t = now + view.remaining(rj)
+                releases.append((t, rj.job.nodes))
+                origin[t] = ("running_job", rj.job_id)
+            for ares in getattr(view, "active_reservations", ()):
+                t = max(ares.end_time, now)
+                releases.append((t, ares.nodes))
+                origin[t] = ("active_reservation", ares.reservation.res_id)
         profile = AvailabilityProfile.from_releases(
-            view.now, view.free_nodes, view.total_nodes, releases
+            now, view.free_nodes, view.total_nodes, releases
         )
         for pres in getattr(view, "reservations", ()):
-            profile.carve(
-                max(pres.effective_start, view.now),
-                pres.duration,
-                pres.nodes,
-                clamp=True,
-            )
+            carve_start = max(pres.effective_start, now)
+            profile.carve(carve_start, pres.duration, pres.nodes, clamp=True)
+            if origin is not None:
+                origin[carve_start + pres.duration] = (
+                    "advance_reservation", pres.reservation.res_id,
+                )
 
         started = []
         # Start jobs in arrival order while the profile lets them run
@@ -67,10 +90,14 @@ class EASYBackfillPolicy(Policy):
         while i < len(queued):
             qj = queued[i]
             duration = max(view.estimate(qj), self.min_duration)
-            if profile.earliest_start(qj.job.nodes, duration) > view.now:
+            if profile.earliest_start(qj.job.nodes, duration) > now:
                 break
-            profile.carve(view.now, duration, qj.job.nodes)
+            profile.carve(now, duration, qj.job.nodes)
             started.append(qj)
+            if prov is not None:
+                self._last_binding.pop(qj.job_id, None)
+                self._last_blocked.pop(qj.job_id, None)
+                origin[now + duration] = ("running_job", qj.job_id)
             i += 1
         if i >= len(queued):
             return started
@@ -81,12 +108,66 @@ class EASYBackfillPolicy(Policy):
         head_duration = max(view.estimate(head), self.min_duration)
         head_start = profile.earliest_start(head.job.nodes, head_duration)
         profile.carve(head_start, head_duration, head.job.nodes)
+        if prov is not None:
+            self._emit_binding(prov, now, head, head_start, origin)
+            origin[head_start + head_duration] = (
+                "queued_reservation", head.job_id,
+            )
 
         # Backfill: any later job that can run now without delaying the
         # head (or a reservation window).
         for qj in queued[i + 1 :]:
             duration = max(view.estimate(qj), self.min_duration)
-            if profile.earliest_start(qj.job.nodes, duration) <= view.now:
-                profile.carve(view.now, duration, qj.job.nodes)
+            est_start = profile.earliest_start(qj.job.nodes, duration)
+            if est_start <= now:
+                profile.carve(now, duration, qj.job.nodes)
                 started.append(qj)
+                if prov is not None:
+                    self._last_binding.pop(qj.job_id, None)
+                    self._last_blocked.pop(qj.job_id, None)
+                    prov.emit(
+                        "backfill_hole_used",
+                        sim_time=now,
+                        job_id=qj.job_id,
+                        policy=self.name,
+                        hole_start_s=now,
+                        hole_end_s=head_start,
+                        ahead_job_id=head.job_id,
+                        nodes=qj.job.nodes,
+                    )
+                    origin[now + duration] = ("running_job", qj.job_id)
+            elif prov is not None:
+                # Unprotected job: attribute the anchor of its would-be
+                # start (often the head's own carve end).
+                kind, bid = origin.get(est_start, ("unknown", None))
+                if self._last_blocked.get(qj.job_id) != (kind, bid):
+                    self._last_blocked[qj.job_id] = (kind, bid)
+                    if bid is None:
+                        prov.emit(
+                            "start_blocked", sim_time=now, job_id=qj.job_id,
+                            policy=self.name, blocker_kind=kind,
+                        )
+                    else:
+                        prov.emit(
+                            "start_blocked", sim_time=now, job_id=qj.job_id,
+                            policy=self.name, blocker_kind=kind, blocker_id=bid,
+                        )
         return started
+
+    def _emit_binding(self, prov, now, head, head_start, origin) -> None:
+        """Change-only ``reservation_binding`` for the protected head."""
+        kind, bid = origin.get(head_start, ("unknown", None))
+        if self._last_binding.get(head.job_id) == (kind, bid):
+            return
+        self._last_binding[head.job_id] = (kind, bid)
+        if bid is None:
+            prov.emit(
+                "reservation_binding", sim_time=now, job_id=head.job_id,
+                policy=self.name, start_s=head_start, blocker_kind=kind,
+            )
+        else:
+            prov.emit(
+                "reservation_binding", sim_time=now, job_id=head.job_id,
+                policy=self.name, start_s=head_start, blocker_kind=kind,
+                blocker_id=bid,
+            )

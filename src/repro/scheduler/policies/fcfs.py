@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.scheduler.policies.base import Policy
+from repro.scheduler.policies.base import Policy, ReleaseAttributor
 
 __all__ = ["FCFSPolicy"]
 
@@ -21,7 +21,15 @@ class FCFSPolicy(Policy):
 
     name = "FCFS"
 
+    def __init__(self) -> None:
+        # job_id -> last (blocker_kind, blocker_id); provenance-only
+        # state so start_blocked events report moves, not every pass.
+        self._last_blocked: dict[int, tuple] = {}
+
     def select(self, view) -> Sequence:
+        prov = getattr(view, "provenance_tracer", None)
+        if prov is not None:
+            return self._select_traced(view, prov)
         free = view.free_nodes
         started = []
         for qj in view.queued:  # arrival order
@@ -30,4 +38,48 @@ class FCFSPolicy(Policy):
                 free -= qj.job.nodes
             else:
                 break
+        return started
+
+    def _select_traced(self, view, prov) -> Sequence:
+        """Selection-identical walk emitting ``start_blocked`` provenance.
+
+        The blocked head is attributed to the release that first clears
+        its node deficit; everything behind it is ``queue_order``-blocked
+        on the head (FCFS's head-of-line rule), whatever its own fit.
+        """
+        free = view.free_nodes
+        now = view.now
+        last = self._last_blocked
+        started = []
+        head_id: int | None = None
+        for qj in view.queued:  # arrival order
+            if head_id is None and qj.job.nodes <= free:
+                started.append(qj)
+                free -= qj.job.nodes
+                last.pop(qj.job_id, None)
+                continue
+            if head_id is None:
+                head_id = qj.job_id
+                attr = ReleaseAttributor(view)
+                for sj in started:
+                    attr.add(
+                        now + view.estimate(sj), sj.job.nodes,
+                        "running_job", sj.job_id,
+                    )
+                kind, bid = attr.binding(qj.job.nodes, free)
+            else:
+                kind, bid = "queue_order", head_id
+            if last.get(qj.job_id) != (kind, bid):
+                last[qj.job_id] = (kind, bid)
+                if bid is None:
+                    prov.emit(
+                        "start_blocked", sim_time=now, job_id=qj.job_id,
+                        policy=self.name, blocker_kind=kind, free_nodes=free,
+                    )
+                else:
+                    prov.emit(
+                        "start_blocked", sim_time=now, job_id=qj.job_id,
+                        policy=self.name, blocker_kind=kind, blocker_id=bid,
+                        free_nodes=free,
+                    )
         return started

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.scheduler.policies.base import Policy
+from repro.scheduler.policies.base import Policy, ReleaseAttributor
 
 __all__ = ["LWFPolicy"]
 
@@ -29,10 +29,18 @@ class LWFPolicy(Policy):
 
     name = "LWF"
 
+    def __init__(self) -> None:
+        # job_id -> last (blocker_kind, blocker_id); provenance-only
+        # state so start_blocked events report moves, not every pass.
+        self._last_blocked: dict[int, tuple] = {}
+
     def select(self, view) -> Sequence:
         queued = list(view.queued)
         if not queued:
             return []
+        prov = getattr(view, "provenance_tracer", None)
+        if prov is not None:
+            return self._select_traced(view, queued, prov)
         free = view.free_nodes
         # Nothing fits when even the narrowest job exceeds the free
         # nodes — skip the estimate lookups and the sort entirely.
@@ -52,4 +60,61 @@ class LWFPolicy(Policy):
             if qj.job.nodes <= free:
                 started.append(qj)
                 free -= qj.job.nodes
+        return started
+
+    def _select_traced(self, view, queued, prov) -> Sequence:
+        """Selection-identical walk emitting ``start_blocked`` provenance.
+
+        Drops the nothing-fits early exit (which only skips work, never
+        changes the selected set) so every blocked job is attributed:
+        greedy LWF has no head-of-line rule, so each unstarted job is
+        bound by the release that first clears its own node deficit
+        against the free nodes remaining when the walk reaches it.
+        """
+        free = view.free_nodes
+        now = view.now
+        estimate = view.estimate
+        order = sorted(
+            queued,
+            key=lambda qj: (
+                qj.job.nodes * estimate(qj),
+                qj.job.submit_time,
+                qj.job.job_id,
+            ),
+        )
+        last = self._last_blocked
+        started = []
+        attr = None
+        for qj in order:
+            if qj.job.nodes <= free:
+                started.append(qj)
+                free -= qj.job.nodes
+                last.pop(qj.job_id, None)
+                if attr is not None:
+                    attr.add(
+                        now + estimate(qj), qj.job.nodes,
+                        "running_job", qj.job_id,
+                    )
+                continue
+            if attr is None:
+                attr = ReleaseAttributor(view)
+                for sj in started:
+                    attr.add(
+                        now + estimate(sj), sj.job.nodes,
+                        "running_job", sj.job_id,
+                    )
+            kind, bid = attr.binding(qj.job.nodes, free)
+            if last.get(qj.job_id) != (kind, bid):
+                last[qj.job_id] = (kind, bid)
+                if bid is None:
+                    prov.emit(
+                        "start_blocked", sim_time=now, job_id=qj.job_id,
+                        policy=self.name, blocker_kind=kind, free_nodes=free,
+                    )
+                else:
+                    prov.emit(
+                        "start_blocked", sim_time=now, job_id=qj.job_id,
+                        policy=self.name, blocker_kind=kind, blocker_id=bid,
+                        free_nodes=free,
+                    )
         return started

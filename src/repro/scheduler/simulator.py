@@ -180,6 +180,15 @@ class IndexedJobList:
         """The entry for ``job_id``, or ``None``."""
         return self._items.get(job_id)
 
+    def ids(self) -> Iterable[int]:
+        """Job ids in iteration (insertion) order, as a dict keys view.
+
+        Lets bulk consumers (backfill's provenance seeding) pair ids
+        with per-job data at C speed instead of attribute-chasing each
+        entry in a Python loop.
+        """
+        return self._items.keys()
+
     def clear(self) -> None:
         self._items.clear()
 
@@ -276,6 +285,19 @@ class SchedulerView:
         """
         sim = self._sim
         return sim._tracer if sim._trace_enabled else None
+
+    @property
+    def provenance_tracer(self):
+        """The tracer when decision provenance is on, else ``None``.
+
+        A second, stricter gate over :attr:`tracer`: the policies' traced
+        walks only attribute binding constraints (``start_blocked`` /
+        ``reservation_binding`` / ``backfill_hole_used``) when the
+        instrumentation's ``provenance`` knob asked for them, so plain
+        tracing pays nothing for attribution bookkeeping.
+        """
+        sim = self._sim
+        return sim._tracer if sim._provenance else None
 
     def estimate(self, qj: QueuedJob) -> float:
         """Estimated total run time of a queued job (>= tiny epsilon)."""
@@ -407,6 +429,7 @@ class Simulator:
         self._tracer = obs.tracer
         self._trace_enabled = obs.tracer.enabled
         self._time_passes = obs.time_passes
+        self._provenance = bool(obs.provenance) and self._trace_enabled
         self._view_cls = InstrumentedSchedulerView if obs.detail else SchedulerView
         self._policy_name = policy.name
         self._n_events = 0
@@ -441,6 +464,8 @@ class Simulator:
             # Shadow the plain pass with the span-wrapped variant; the
             # default path keeps the unwrapped method (zero extra frames).
             self._schedule_pass = self._schedule_pass_timed
+        if obs.timeseries is not None:
+            self.add_observer(obs.timeseries)
 
     @property
     def events_processed(self) -> int:

@@ -132,3 +132,14 @@ def test_misprediction_journal(tmp_path, capsys):
     stats = check_campaign_journal(events)
     assert stats["cells_total"] == 2
     assert stats["cells_done"] == 2
+
+
+def test_campaign_summary_of_empty_journal_says_so(tmp_path, capsys):
+    """An empty journal must not render as an all-zero 'finished'
+    campaign summary — it gets an explicit message instead."""
+    journal = tmp_path / "empty.jsonl"
+    journal.write_text("")
+    assert main(["campaign", str(journal), "--summary"]) == 0
+    out = capsys.readouterr().out
+    assert f"empty campaign journal (0 events): {journal}" in out
+    assert "cells done" not in out

@@ -67,3 +67,49 @@ def test_trace_detail_emits_cache_events(tmp_path, capsys):
     assert code == 0
     events = read_jsonl(str(out))
     assert any(e["type"] == "cache_miss" for e in events)
+
+
+def test_trace_detail_emits_provenance_events(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code, _ = _run(capsys, out, "--detail")
+    assert code == 0
+    events = read_jsonl(str(out))
+    assert any(e["type"] == "reservation_binding" for e in events)
+    assert any(e["type"] == "start_blocked" for e in events)
+    # ...and none without --detail.
+    code, _ = _run(capsys, out)
+    assert code == 0
+    events = read_jsonl(str(out))
+    assert not any(
+        e["type"] in ("start_blocked", "reservation_binding",
+                      "backfill_hole_used")
+        for e in events
+    )
+
+
+def test_trace_from_inspects_existing_file(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code, _ = _run(capsys, out)
+    assert code == 0
+    code = main(["trace", "--from", str(out), "--check", "--summary"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "trace check OK" in captured.err
+    assert "trace summary" in captured.out
+    assert "job_started" in captured.out
+
+
+def test_trace_from_empty_file_says_so(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    code = main(["trace", "--from", str(empty), "--summary"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert f"empty trace (0 events): {empty}" in captured.out
+    assert "(no rows)" not in captured.out
+
+
+def test_trace_from_missing_file_fails_cleanly(tmp_path, capsys):
+    code = main(["trace", "--from", str(tmp_path / "nope.jsonl")])
+    assert code == 1
+    assert "trace FAILED" in capsys.readouterr().err

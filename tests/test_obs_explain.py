@@ -1,0 +1,143 @@
+"""explain_job / summarize_wait_components on hand-built traces.
+
+The end-to-end invariant (decomposition sums to the realized wait on
+every job of a real detail-mode replay) lives in
+``tests/test_obs_provenance.py``; these tests pin the arithmetic and
+the error surface on events whose answer is known by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    WAIT_COMPONENTS,
+    explain_job,
+    format_explanation,
+    summarize_wait_components,
+)
+
+
+def _event(etype, t, job_id=1, policy="P", **fields):
+    return {"type": etype, "wall_time": 0.0, "sim_time": t,
+            "job_id": job_id, "policy": policy, **fields}
+
+
+def _trace():
+    """Job 1 waits 100s: 10s unattributed, 30s behind a running job,
+    60s behind another queued job's reservation."""
+    return [
+        _event("job_submitted", 0.0, nodes=8),
+        _event("wait_predicted", 0.0, predictor="sb", predicted_wait_s=80.0),
+        _event("start_blocked", 10.0, blocker_kind="running_job",
+               blocker_id=9, free_nodes=2),
+        _event("reservation_binding", 40.0, start_s=95.0,
+               blocker_kind="queued_reservation", blocker_id=3),
+        # A backfiller that used the hole in front of job 1:
+        _event("backfill_hole_used", 50.0, job_id=7, ahead_job_id=1,
+               hole_start_s=50.0, hole_end_s=95.0, nodes=2),
+        _event("job_started", 100.0, nodes=8, wait_s=100.0),
+        _event("prediction_resolved", 100.0, predictor="sb",
+               kind="wait_time", predicted_s=80.0, actual_s=100.0,
+               error_s=-20.0),
+        _event("job_finished", 150.0),
+    ]
+
+
+class TestExplainJob:
+    def test_lifecycle_and_decomposition(self):
+        exp = explain_job(_trace(), 1)
+        assert exp["policy"] == "P"
+        assert exp["nodes"] == 8
+        assert exp["wait_s"] == 100.0
+        assert exp["run_s"] == 50.0
+        d = exp["decomposition"]
+        assert d["scheduler_latency_s"] == pytest.approx(10.0)
+        assert d["blocked_on_running_s"] == pytest.approx(30.0)
+        assert d["blocked_on_queue_s"] == pytest.approx(60.0)
+        assert d["blocked_on_reservations_s"] == 0.0
+        assert sum(d.values()) == pytest.approx(exp["wait_s"], abs=1e-9)
+
+    def test_predictions_paired_with_resolution(self):
+        exp = explain_job(_trace(), 1)
+        (pred,) = exp["predictions"]
+        assert pred["predictor"] == "sb"
+        assert pred["predicted_wait_s"] == 80.0
+        assert pred["actual_wait_s"] == 100.0
+        assert pred["error_s"] == -20.0
+
+    def test_timeline_includes_backfiller_events(self):
+        exp = explain_job(_trace(), 1)
+        assert any(
+            e["type"] == "backfill_hole_used" and e["job_id"] == 7
+            for e in exp["timeline"]
+        )
+        times = [e["sim_time"] for e in exp["timeline"]]
+        assert times == sorted(times)
+
+    def test_never_started_job(self):
+        events = [_event("job_submitted", 0.0, nodes=4)]
+        exp = explain_job(events, 1)
+        assert exp["wait_s"] is None
+        assert exp["decomposition"] is None
+        assert "never started" in format_explanation(exp)
+
+    def test_missing_job_raises(self):
+        with pytest.raises(ValueError, match="no events for job 99"):
+            explain_job(_trace(), 99)
+
+    def test_ambiguous_policy_raises(self):
+        events = _trace() + [
+            _event("job_submitted", 0.0, policy="Q", nodes=8)
+        ]
+        with pytest.raises(ValueError, match="multiple policies"):
+            explain_job(events, 1)
+        assert explain_job(events, 1, policy="P")["wait_s"] == 100.0
+
+    def test_wrong_policy_raises(self):
+        with pytest.raises(ValueError, match="no events under policy"):
+            explain_job(_trace(), 1, policy="Q")
+
+    def test_without_provenance_wait_is_all_latency(self):
+        events = [
+            _event("job_submitted", 0.0, nodes=8),
+            _event("job_started", 100.0, nodes=8, wait_s=100.0),
+        ]
+        d = explain_job(events, 1)["decomposition"]
+        assert d["scheduler_latency_s"] == 100.0
+        assert sum(d.values()) == 100.0
+
+
+class TestSummarize:
+    def test_matches_per_job_decomposition(self):
+        rows = summarize_wait_components(_trace())
+        (row,) = rows
+        assert row["policy"] == "P"
+        assert row["jobs"] == 1
+        assert row["total_wait_s"] == pytest.approx(100.0)
+        per_job = explain_job(_trace(), 1)["decomposition"]
+        for component in WAIT_COMPONENTS:
+            assert row[component] == pytest.approx(per_job[component])
+
+    def test_empty_without_provenance(self):
+        events = [
+            _event("job_submitted", 0.0, nodes=8),
+            _event("job_started", 100.0, nodes=8, wait_s=100.0),
+        ]
+        assert summarize_wait_components(events) == []
+        assert summarize_wait_components([]) == []
+
+
+class TestFormat:
+    def test_renders_decomposition_and_timeline(self):
+        text = format_explanation(explain_job(_trace(), 1))
+        assert "job 1" in text
+        assert "wait decomposition" in text
+        assert "blocked_on_queue_s" in text
+        assert "(60.0%)" in text
+        assert "(backfiller)" in text
+        assert "predicted wait [sb]" in text
+
+    def test_timeline_can_be_omitted(self):
+        text = format_explanation(explain_job(_trace(), 1), timeline=False)
+        assert "timeline" not in text

@@ -248,6 +248,94 @@ class TestStableFormatting:
         text = format_prometheus(reg.snapshot())
         assert "campaign_cells_finished_total_total 1" in text
 
+    def test_prometheus_help_and_type_once_per_family(self):
+        """Labeled series of one family share a single HELP/TYPE header."""
+        from repro.obs import format_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter('passes{policy="FCFS"}').inc(3)
+        reg.counter('passes{policy="LWF"}').inc(5)
+        text = format_prometheus(reg.snapshot())
+        assert text.count("# TYPE passes_total counter") == 1
+        assert text.count("# HELP passes_total") == 1
+        assert 'passes_total{policy="FCFS"} 3' in text
+        assert 'passes_total{policy="LWF"} 5' in text
+        # headers precede every sample of the family
+        lines = text.splitlines()
+        assert lines.index("# TYPE passes_total counter") < lines.index(
+            'passes_total{policy="FCFS"} 3'
+        )
+
+    def test_prometheus_every_family_has_help_and_type(self):
+        from repro.obs import format_prometheus
+
+        reg = self._registry(["m"])
+        for line in format_prometheus(reg.snapshot()).splitlines():
+            family = line.split("{")[0].split()[-2 if "#" in line else 0]
+            assert family  # every line parses
+        text = format_prometheus(reg.snapshot())
+        for family in ("m_count_total", "m_level", "zz_duration"):
+            assert f"# HELP {family} " in text
+            assert text.count(f"# HELP {family} ") == 1
+            assert text.count(f"# TYPE {family} ") == 1
+
+    def test_prometheus_zero_observation_families_emitted(self):
+        """A never-incremented counter and an empty histogram still show
+        up in full, headers included, so scrapers learn the series."""
+        from repro.obs import format_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("untouched.count")
+        reg.histogram("empty.hist", (1.0, 2.0))
+        text = format_prometheus(reg.snapshot())
+        assert "# TYPE untouched_count_total counter" in text
+        assert "untouched_count_total 0" in text
+        assert "# TYPE empty_hist histogram" in text
+        assert 'empty_hist_bucket{le="+Inf"} 0' in text
+        assert "empty_hist_count 0" in text
+
+    def test_prometheus_label_values_escaped(self):
+        """Quotes, backslashes, and newlines in label values are escaped
+        per the text-exposition rules."""
+        from repro.obs import format_prometheus
+
+        reg = MetricsRegistry()
+        reg.gauge('depth{policy="a\nb"}').set(7)
+        reg.counter('runs{name="quo\\"te"}').inc(2)
+        reg.counter('paths{dir="c:\\\\tmp"}').inc(1)
+        text = format_prometheus(reg.snapshot())
+        assert 'depth{policy="a\\nb"} 7' in text
+        assert 'runs_total{name="quo\\"te"} 2' in text
+        assert 'paths_total{dir="c:\\\\tmp"} 1' in text
+        # no raw newline survives: every line is a header or a sample
+        for line in text.splitlines():
+            assert line.startswith("#") or " " in line
+
+    def test_prometheus_histogram_labels_compose_with_le(self):
+        from repro.obs import format_prometheus
+
+        reg = MetricsRegistry()
+        hist = reg.histogram('lat{policy="B"}', (1.0, 5.0))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        text = format_prometheus(reg.snapshot())
+        assert 'lat_bucket{policy="B",le="1"} 1' in text
+        assert 'lat_bucket{policy="B",le="+Inf"} 2' in text
+        assert 'lat_sum{policy="B"} 3.5' in text
+        assert 'lat_count{policy="B"} 2' in text
+
+    def test_prometheus_malformed_label_block_falls_back(self):
+        """A brace that is not a parseable label block sanitizes into
+        the family name instead of corrupting the exposition."""
+        from repro.obs import format_prometheus
+
+        reg = MetricsRegistry()
+        reg.counter("weird{not-labels").inc(1)
+        reg.counter("also{bad}").inc(2)
+        text = format_prometheus(reg.snapshot())
+        assert "weird_not_labels_total 1" in text
+        assert "also_bad__total 2" in text
+
     def test_summarize_events_rows_are_sorted(self):
         import random
 

@@ -1,0 +1,208 @@
+"""Decision provenance: schema gates, attribution quality, and the
+exact-sum wait-decomposition invariant.
+
+The tentpole invariant under test: for **every** job of a detail-mode
+SDSC-style replay, :func:`repro.obs.explain.explain_job`'s four wait
+components sum — exactly, to the second — to the realized wait the
+simulator put on ``job_started.wait_s`` and the
+:class:`~repro.obs.audit.PredictionAudit` resolved wait predictions
+against.  Schedule identity of the provenance-enabled walks is pinned
+separately in ``tests/test_simulator_parity.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import make_policy, make_predictor
+from repro.obs import (
+    BLOCKER_KINDS,
+    PROVENANCE_EVENT_TYPES,
+    WAIT_COMPONENTS,
+    Instrumentation,
+    ListSink,
+    Tracer,
+    TraceSchemaError,
+    explain_job,
+    summarize_wait_components,
+    validate_event,
+)
+from repro.predictors.base import PointEstimator
+from repro.scheduler.simulator import Simulator
+from repro.waitpred.statebased import StateBasedWaitPredictor
+from repro.workloads.archive import load_paper_workload
+
+POLICIES = ("FCFS", "LWF", "Backfill", "EASY")
+_REGISTRY_NAMES = {"FCFS": "fcfs", "LWF": "lwf",
+                   "Backfill": "backfill", "EASY": "easy"}
+N_JOBS = 120
+
+
+@pytest.fixture(scope="module")
+def detail_events() -> list[dict]:
+    """One detail-mode SDSC96 replay per policy, into a shared sink —
+    the ``repro-sched trace --detail --wait-pred state`` pipeline."""
+    wl = load_paper_workload("SDSC96", n_jobs=N_JOBS)
+    sink = ListSink()
+    tracer = Tracer(sink)
+    for policy_name in POLICIES:
+        inst = Instrumentation(tracer=tracer, detail=True, audit=True)
+        estimator = PointEstimator(
+            make_predictor("max", wl), instrumentation=inst
+        )
+        sim = Simulator(
+            make_policy(_REGISTRY_NAMES[policy_name]),
+            estimator,
+            wl.total_nodes,
+            instrumentation=inst,
+        )
+        sim.add_observer(
+            StateBasedWaitPredictor(
+                PointEstimator(make_predictor("max", wl)),
+                instrumentation=inst,
+            )
+        )
+        sim.run(wl)
+    return sink.events
+
+
+def _by_policy(events: list[dict], policy: str) -> list[dict]:
+    return [e for e in events if e.get("policy") == policy]
+
+
+def test_every_policy_emits_schema_valid_provenance(detail_events):
+    for policy in POLICIES:
+        provenance = [
+            e for e in _by_policy(detail_events, policy)
+            if e["type"] in PROVENANCE_EVENT_TYPES
+        ]
+        assert provenance, f"{policy} attributed nothing on a contended trace"
+        for event in provenance:
+            validate_event(event)
+            kind = event.get("blocker_kind")
+            if kind is not None:
+                assert kind in BLOCKER_KINDS
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_decomposition_sums_exactly_to_realized_wait(detail_events, policy):
+    """The acceptance invariant, checked for every started job."""
+    events = _by_policy(detail_events, policy)
+    resolved_waits = {
+        e["job_id"]: e["actual_s"]
+        for e in detail_events
+        if e["type"] == "prediction_resolved"
+        and e.get("kind") == "wait_time"
+        and (e.get("policy") or policy) == policy
+    }
+    started = [e for e in events if e["type"] == "job_started"]
+    assert len(started) == N_JOBS
+    for event in started:
+        exp = explain_job(events, event["job_id"], policy=policy)
+        decomposition = exp["decomposition"]
+        assert decomposition is not None
+        assert set(decomposition) == set(WAIT_COMPONENTS)
+        assert all(v >= 0.0 for v in decomposition.values())
+        total = sum(decomposition.values())
+        # Exact to the second, and to float dust in absolute terms.
+        assert abs(total - event["wait_s"]) < 1e-6
+        assert round(total) == round(event["wait_s"])
+        # ...and the wait the audit resolved predictions against is the
+        # very same number.
+        audited = resolved_waits.get(event["job_id"])
+        if audited is not None:
+            assert abs(total - audited) < 1e-6
+
+
+def test_attribution_is_specific_not_unknown(detail_events):
+    """On a plain contended workload (no reservations) the attributors
+    should produce concrete blockers; ``unknown`` is the escape hatch,
+    not the common case."""
+    kinds = [
+        e["blocker_kind"]
+        for e in detail_events
+        if e["type"] in ("start_blocked", "reservation_binding")
+    ]
+    assert kinds
+    assert "unknown" not in kinds
+
+
+def test_change_only_emission(detail_events):
+    """Consecutive attributing events of one type for one job never
+    repeat the same (blocker_kind, blocker_id) — emission is
+    move-triggered.  (A ``start_blocked`` followed by a
+    ``reservation_binding`` with the same blocker is *not* a repeat:
+    the job transitioned from blocked to holding the head reservation.)
+    """
+    last: dict[tuple, tuple] = {}
+    repeats = 0
+    for e in detail_events:
+        if e["type"] not in ("start_blocked", "reservation_binding"):
+            if e["type"] == "job_started":
+                policy, jid = e.get("policy"), e["job_id"]
+                last.pop((policy, jid, "start_blocked"), None)
+                last.pop((policy, jid, "reservation_binding"), None)
+            continue
+        key = (e.get("policy"), e["job_id"], e["type"])
+        binding = (e["blocker_kind"], e.get("blocker_id"))
+        if last.get(key) == binding:
+            repeats += 1
+        last[key] = binding
+    assert repeats == 0
+
+
+def test_backfill_hole_events_are_coherent(detail_events):
+    """A hole has a start at now, an end no earlier, and names the job
+    whose protective reservation bounds it."""
+    holes = [e for e in detail_events if e["type"] == "backfill_hole_used"]
+    assert holes  # Backfill and EASY both backfill on this trace
+    for e in holes:
+        assert e["policy"] in ("Backfill", "EASY")
+        assert e["hole_start_s"] == e["sim_time"]
+        if "hole_end_s" in e:
+            assert e["hole_end_s"] >= e["hole_start_s"]
+        assert isinstance(e["ahead_job_id"], int)
+        assert e["ahead_job_id"] != e["job_id"]
+
+
+def test_summary_rows_are_consistent(detail_events):
+    rows = summarize_wait_components(detail_events)
+    assert [row["policy"] for row in rows] == sorted(POLICIES)
+    for row in rows:
+        assert row["jobs"] == N_JOBS
+        total = sum(row[c] for c in WAIT_COMPONENTS)
+        assert total == pytest.approx(row["total_wait_s"], abs=1e-6)
+
+
+def test_summary_empty_without_provenance(detail_events):
+    lifecycle = [
+        e for e in detail_events
+        if e["type"] in ("job_submitted", "job_started", "job_finished")
+    ]
+    assert summarize_wait_components(lifecycle) == []
+
+
+def test_schema_rejects_unknown_blocker_kind():
+    with pytest.raises(TraceSchemaError):
+        validate_event({
+            "type": "start_blocked", "wall_time": 0.0, "sim_time": 1.0,
+            "job_id": 1, "blocker_kind": "bogus",
+        })
+    with pytest.raises(TraceSchemaError):
+        validate_event({
+            "type": "reservation_binding", "wall_time": 0.0, "sim_time": 1.0,
+            "job_id": 1, "start_s": 2.0, "blocker_kind": "weather",
+        })
+
+
+def test_schema_requires_provenance_fields():
+    with pytest.raises(TraceSchemaError):
+        validate_event({
+            "type": "start_blocked", "wall_time": 0.0, "sim_time": 1.0,
+            "job_id": 1,  # blocker_kind missing
+        })
+    with pytest.raises(TraceSchemaError):
+        validate_event({
+            "type": "backfill_hole_used", "wall_time": 0.0, "sim_time": 1.0,
+            "job_id": 1,  # hole_start_s missing
+        })

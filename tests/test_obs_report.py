@@ -256,3 +256,42 @@ class TestCampaignSection:
         report["campaign"] = "not a dict"
         with pytest.raises(ReportSchemaError, match="object"):
             validate_report(report)
+
+
+class TestExplainabilitySection:
+    def _provenance_events(self) -> list[dict]:
+        return [
+            {"type": "start_blocked", "wall_time": 0.0, "sim_time": 1.0,
+             "job_id": 2, "policy": "FCFS", "blocker_kind": "running_job",
+             "blocker_id": 1},
+        ]
+
+    def test_absent_without_provenance_events(self):
+        report = build_report(sample_events())
+        assert "explainability" not in report
+        validate_report(report)
+        assert "Explainability" not in format_report(report)
+
+    def test_built_validated_and_rendered(self):
+        report = build_report(sample_events() + self._provenance_events())
+        validate_report(report)
+        (row,) = report["explainability"]
+        assert row["policy"] == "FCFS"
+        assert row["jobs"] == 2
+        # job 2 waits 119s, attributed to job 1's release from the
+        # submit-instant mark on; job 1 starts immediately.
+        assert row["total_wait_s"] == pytest.approx(119.0)
+        assert row["blocked_on_running_s"] == pytest.approx(119.0)
+        assert row["scheduler_latency_s"] == pytest.approx(0.0)
+        text = format_report(report)
+        assert "Explainability: where the waiting went" in text
+        json.loads(report_to_json(report))
+
+    def test_row_missing_field_rejected(self):
+        report = build_report(sample_events() + self._provenance_events())
+        del report["explainability"][0]["blocked_on_queue_s"]
+        with pytest.raises(ReportSchemaError, match="blocked_on_queue_s"):
+            validate_report(report)
+        report["explainability"] = "not a list"
+        with pytest.raises(ReportSchemaError, match="list"):
+            validate_report(report)

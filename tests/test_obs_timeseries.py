@@ -1,0 +1,195 @@
+"""StateSeries: reservoir behavior, offline rebuild, rendering."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.registry import make_predictor
+from repro.obs import (
+    Instrumentation,
+    ListSink,
+    StateSeries,
+    Tracer,
+    format_timeseries,
+    sparkline,
+)
+from repro.predictors.base import PointEstimator
+from repro.scheduler.policies import BackfillPolicy
+from repro.scheduler.simulator import Simulator
+from repro.workloads.archive import load_paper_workload
+
+
+def _push(series, t, **overrides):
+    sample = dict(
+        queued=2, running=3, free_nodes=4, total_nodes=16,
+        min_request=2, backlog_node_s=10.0,
+    )
+    sample.update(overrides)
+    series.push(t, **sample)
+
+
+class TestReservoir:
+    def test_points_stay_bounded_and_keep_endpoints(self):
+        series = StateSeries(max_points=64)
+        for i in range(5000):
+            _push(series, float(i))
+        assert len(series) <= 64
+        assert series.min_dt > 0.0
+        assert series.points[0]["t"] == 0.0
+        assert series.points[-1]["t"] == 4999.0
+
+    def test_dense_burst_overwrites_last_point(self):
+        series = StateSeries()
+        series.min_dt = 10.0
+        _push(series, 0.0, queued=1)
+        _push(series, 5.0, queued=7)  # within min_dt: overwrite
+        assert len(series) == 1
+        assert series.points[0]["queued"] == 7
+        _push(series, 50.0, queued=2)  # past min_dt: append
+        assert len(series) == 2
+
+    def test_min_points_floor(self):
+        with pytest.raises(ValueError):
+            StateSeries(max_points=4)
+
+    def test_point_fields(self):
+        series = StateSeries()
+        _push(series, 1.0, free_nodes=3, total_nodes=10, min_request=5)
+        point = series.points[0]
+        assert point["used_nodes"] == 7
+        assert point["util"] == pytest.approx(0.7)
+        # free (3) < narrowest request (5): all free nodes are stranded
+        assert point["stranded_free"] == 3
+        _push(series, 2.0, free_nodes=6, total_nodes=10, min_request=5)
+        assert series.points[-1]["stranded_free"] == 0
+        _push(series, 3.0, min_request=None, queued=0)
+        assert series.points[-1]["stranded_free"] == 0
+
+    def test_values_and_unknown_metric(self):
+        series = StateSeries()
+        _push(series, 1.0)
+        assert series.values("queue") == [2]  # alias -> "queued"
+        assert series.values("queued") == [2]  # raw field works too
+        with pytest.raises(KeyError, match="unknown metric"):
+            series.values("nope")
+
+    def test_to_jsonl_path_and_filelike(self, tmp_path):
+        series = StateSeries()
+        _push(series, 1.0)
+        _push(series, 2.0)
+        out = tmp_path / "points.jsonl"
+        assert series.to_jsonl(str(out)) == 2
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["t"] == 1.0
+        buf = io.StringIO()
+        assert series.to_jsonl(buf) == 2
+        assert buf.getvalue() == out.read_text()
+
+
+class TestOfflineRebuild:
+    def _events(self, policy="P"):
+        # job 1: 4 nodes, waits 0; job 2: 2 nodes, waits 5
+        return [
+            {"type": "job_submitted", "policy": policy, "job_id": 1,
+             "sim_time": 0.0, "nodes": 4, "wall_time": 0.0},
+            {"type": "job_started", "policy": policy, "job_id": 1,
+             "sim_time": 0.0, "nodes": 4, "wait_s": 0.0, "wall_time": 0.0},
+            {"type": "job_submitted", "policy": policy, "job_id": 2,
+             "sim_time": 5.0, "nodes": 2, "wall_time": 0.0},
+            {"type": "job_finished", "policy": policy, "job_id": 1,
+             "sim_time": 10.0, "wall_time": 0.0},
+            {"type": "job_started", "policy": policy, "job_id": 2,
+             "sim_time": 10.0, "nodes": 2, "wait_s": 5.0, "wall_time": 0.0},
+            {"type": "job_finished", "policy": policy, "job_id": 2,
+             "sim_time": 20.0, "wall_time": 0.0},
+        ]
+
+    def test_rebuild_counts_and_backlog(self):
+        series = StateSeries.from_events(self._events(), total_nodes=8)
+        assert not series.approximate_total
+        assert series.values("running") == [0, 1, 1, 0, 1, 0]
+        assert series.values("queue") == [1, 0, 1, 1, 0, 0]
+        # backlog at t=10 (job_finished sample): job 2 queued since t=5
+        # with 2 nodes -> 2 * 5 node-seconds.
+        assert series.points[3]["backlog_node_s"] == pytest.approx(10.0)
+        assert series.values("util")[1] == pytest.approx(4 / 8)
+
+    def test_total_nodes_inferred_from_peak(self):
+        series = StateSeries.from_events(self._events())
+        assert series.approximate_total
+        # peak concurrent allocation is job 1's 4 nodes
+        assert series.points[1]["util"] == pytest.approx(1.0)
+
+    def test_multi_policy_requires_selection(self):
+        events = self._events("A") + self._events("B")
+        with pytest.raises(ValueError, match="interleaves"):
+            StateSeries.from_events(events)
+        series = StateSeries.from_events(events, policy="A", total_nodes=8)
+        assert len(series) == 6
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="no life-cycle events"):
+            StateSeries.from_events(self._events(), policy="missing")
+
+    def test_live_observer_matches_offline_rebuild(self):
+        """The live series (observer hooks) and the offline rebuild of
+        the same replay's trace sample identical state."""
+        wl = load_paper_workload("ANL", n_jobs=80)
+        sink = ListSink()
+        inst = Instrumentation(tracer=Tracer(sink), timeseries=True)
+        estimator = PointEstimator(
+            make_predictor("max", wl), instrumentation=inst
+        )
+        sim = Simulator(
+            BackfillPolicy(), estimator, wl.total_nodes, instrumentation=inst
+        )
+        sim.run(wl)
+        live = inst.timeseries
+        assert isinstance(live, StateSeries)
+        offline = StateSeries.from_events(
+            sink.events, total_nodes=wl.total_nodes
+        )
+        key = ("t", "queued", "running", "used_nodes", "backlog_node_s")
+        assert [
+            tuple(p[k] for k in key) for p in live.points
+        ] == [tuple(p[k] for k in key) for p in offline.points]
+
+
+class TestRendering:
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_flat(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "   "
+        assert sparkline([3.0, 3.0]) == "▄▄"
+
+    def test_sparkline_pools_to_width(self):
+        out = sparkline(list(range(1000)), width=40)
+        assert len(out) == 40
+        assert out[-1] == "█"
+        assert out[0] == " "  # minimum maps to the lowest level
+
+    def test_format_timeseries(self):
+        series = StateSeries()
+        _push(series, 0.0, queued=0)
+        _push(series, 100.0, queued=9)
+        text = format_timeseries(series, "queue", width=10)
+        assert "queue over simulated time" in text
+        assert "2 samples" in text
+        assert "max=9" in text
+
+    def test_format_empty_series(self):
+        assert "(no samples)" in format_timeseries(StateSeries(), "util")
+
+    def test_format_flags_inferred_total(self):
+        series = StateSeries.from_events([
+            {"type": "job_submitted", "policy": "P", "job_id": 1,
+             "sim_time": 0.0, "nodes": 2, "wall_time": 0.0},
+            {"type": "job_started", "policy": "P", "job_id": 1,
+             "sim_time": 1.0, "nodes": 2, "wait_s": 1.0, "wall_time": 0.0},
+        ])
+        assert "inferred from peak" in format_timeseries(series, "util")
