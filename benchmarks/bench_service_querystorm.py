@@ -1,0 +1,150 @@
+"""Engineering bench — prediction-service query storm.
+
+The prediction service's contract is that repeated queries between
+scheduler events are O(1) epoch-cache hits.  This bench replays a
+compressed workload prefix into a :class:`repro.service.PredictionService`
+(leaving a congested live queue), then measures three regimes:
+
+- **storm** — many single-job queries at cache-hit steady state; the
+  headline ``predictions_per_s`` (target >= 20k/s, asserted only under
+  ``REPRO_BENCH_STRICT_GAIN=1`` — CI runners are too noisy);
+- **batch** — whole-queue ``predict_batch`` calls, one walk per epoch;
+- **churn** — a clock tick between query rounds, so every round pays
+  one cache warm (the per-epoch miss cost).
+
+Two guarantees are enforced on every run:
+
+- **Parity** — each cached answer must be bit-identical to an uncached
+  :func:`repro.waitpred.predictor.predict_wait` computation
+  (``parity_failures`` must stay 0);
+- **Accounting** — the hit/miss counters must show exactly one miss per
+  epoch (the cache actually caches).
+
+Deterministic keys (queue depth, hit/miss/fallback counts,
+parity_failures) are gated against ``baselines/service_300.json`` by
+``scripts/check_bench_regression.py``; throughput and latency keys are
+wall-clock and ignored there.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _common import bench_trace, emit_bench_json, run_once
+from repro.obs import histogram_quantile
+from repro.predictors.base import PointEstimator
+from repro.predictors.simple import MaxRuntimePredictor
+from repro.scheduler.policies import BackfillPolicy
+from repro.scheduler.simulator import Simulator
+from repro.service import PredictionService, SimulatorFeed
+from repro.waitpred.predictor import predict_wait
+from repro.workloads.transform import compress_interarrival
+
+_WORKLOAD = "SDSC96"
+_COMPRESS = 50.0
+_STORM_QUERIES = 30_000
+_BATCH_ROUNDS = 200
+_CHURN_EPOCHS = 200
+
+
+def _loaded_service() -> PredictionService:
+    """A service mirroring a congested mid-replay state."""
+    trace = compress_interarrival(bench_trace(_WORKLOAD), _COMPRESS)
+    svc = PredictionService(
+        BackfillPolicy(),
+        PointEstimator(MaxRuntimePredictor(), default=600.0),
+        trace.total_nodes,
+    )
+    sim = Simulator(
+        BackfillPolicy(),
+        PointEstimator(MaxRuntimePredictor(), default=600.0),
+        trace.total_nodes,
+    )
+    sim.add_observer(SimulatorFeed(svc))
+    # Stop at the last submission: the queue is at its deepest.
+    sim.run(trace, until_time=max(j.submit_time for j in trace.jobs))
+    return svc
+
+
+def test_service_query_storm(benchmark):
+    svc = _loaded_service()
+    queued = svc.queued_ids
+    assert queued, "compressed replay must leave a live queue"
+
+    # -- parity: cached answers == uncached predict_wait, bit-identical
+    parity_failures = 0
+    for jid in queued:
+        cached = svc.predict(jid)
+        fresh = predict_wait(svc.snapshot(), svc.policy, svc.estimator, jid)
+        if cached != fresh:
+            parity_failures += 1
+    assert parity_failures == 0
+
+    # -- storm: single queries at cache-hit steady state
+    n = _STORM_QUERIES
+    t0 = time.perf_counter()
+    for i in range(n):
+        svc.predict(queued[i % len(queued)])
+    storm_s = time.perf_counter() - t0
+    storm_qps = n / storm_s
+
+    # -- batch: whole-queue answers from the warmed epoch cache
+    t0 = time.perf_counter()
+    for _ in range(_BATCH_ROUNDS):
+        svc.predict_batch()
+    batch_s = time.perf_counter() - t0
+    batch_qps = _BATCH_ROUNDS * len(queued) / batch_s
+
+    # -- accounting so far: everything after the first warm was a hit
+    counters = svc.stats()["counters"]
+    expected = len(queued) + n + _BATCH_ROUNDS * len(queued)
+    assert counters["service.queries"] == expected
+    assert counters["service.cache_misses"] == 1
+    assert counters["service.cache_hits"] == expected - 1
+    assert counters["service.fallback_simulations"] == 0
+
+    # -- churn: a tick per round forces one cache warm per epoch
+    t0 = time.perf_counter()
+    for _ in range(_CHURN_EPOCHS):
+        svc.tick(svc.now + 1.0)
+        svc.predict(queued[0])
+    churn_s = time.perf_counter() - t0
+    churn_eps = _CHURN_EPOCHS / churn_s
+    counters = svc.stats()["counters"]
+    assert counters["service.cache_misses"] == 1 + _CHURN_EPOCHS
+
+    hist = svc.stats()["histograms"]["service.query_latency_seconds"]
+    p50 = histogram_quantile(hist, 0.50)
+    p99 = histogram_quantile(hist, 0.99)
+
+    if os.environ.get("REPRO_BENCH_STRICT_GAIN") == "1":
+        # The tentpole targets, asserted on dedicated hardware only.
+        assert storm_qps >= 20_000, f"{storm_qps:.0f}/s below the 20k target"
+        assert p99 < 1e-3, f"p99 {p99 * 1e3:.2f} ms not sub-millisecond"
+
+    run_once(benchmark, lambda: svc.predict(queued[0]))
+    print(
+        f"\nprediction-service query storm ({_WORKLOAD} x{_COMPRESS:.0f}, "
+        f"{len(queued)}-deep queue, backfill):"
+    )
+    print(f"  storm  {storm_qps:10.0f} predictions/s (cache-hit singles)")
+    print(f"  batch  {batch_qps:10.0f} predictions/s (whole-queue batches)")
+    print(f"  churn  {churn_eps:10.0f} epochs/s (tick + re-warm per epoch)")
+    print(f"  latency p50 {p50 * 1e6:8.1f} us   p99 {p99 * 1e6:8.1f} us")
+    emit_bench_json({
+        "service_querystorm": {
+            "queue_depth": len(queued),
+            "running_jobs": len(svc.running_ids),
+            "queries": counters["service.queries"],
+            "cache_hits": counters["service.cache_hits"],
+            "cache_misses": counters["service.cache_misses"],
+            "fallback_simulations": counters["service.fallback_simulations"],
+            "parity_failures": parity_failures,
+            "storm_predictions_per_s": storm_qps,
+            "batch_predictions_per_s": batch_qps,
+            "churn_epochs_per_s": churn_eps,
+            "latency_p50_s": p50,
+            "latency_p99_s": p99,
+        }
+    })

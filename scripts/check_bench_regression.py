@@ -45,6 +45,9 @@ WALL_CLOCK_MARKERS = (
     # Ratios of wall clocks are as machine-dependent as the clocks
     # themselves; the benches assert their own speedup floors.
     "gain_x",
+    # Service query-storm throughput/latency: wall-clock; the bench
+    # asserts its own floors under REPRO_BENCH_STRICT_GAIN=1.
+    "predictions_per_s", "epochs_per_s", "latency_p",
 )
 #: Substrings marking a key where smaller numbers are better.
 LOWER_BETTER_MARKERS = (

@@ -17,6 +17,8 @@ Installed as the ``repro-sched`` console script::
     repro-sched trace --detail -o trace.jsonl
     repro-sched explain trace.jsonl --job 42
     repro-sched timeline trace.jsonl --metric util queue backlog
+    repro-sched serve --workload SDSC96 --algorithm backfill --port 7099
+    repro-sched query --replay 80 --workload SDSC96 --all-queued --stats
 """
 
 from __future__ import annotations
@@ -42,7 +44,7 @@ from repro.workloads.transform import compress_interarrival
 
 __all__ = ["main", "build_parser", "run_config", "run_trace",
            "run_report_from_trace", "run_misprediction", "run_campaign",
-           "run_explain", "run_timeline"]
+           "run_explain", "run_timeline", "run_serve", "run_query"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -274,6 +276,67 @@ def build_parser() -> argparse.ArgumentParser:
                       help="reservoir size of the rebuilt series")
     p_tl.add_argument("-o", "--out", default=None, metavar="FILE",
                       help="also write the raw points as JSONL")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the online wait-time prediction service: a JSON-lines "
+        "TCP server fed scheduler events, answering wait queries from "
+        "epoch-cached analytic predictions (repro.service)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7099,
+                       help="TCP port (0 = ask the OS; the bound port is "
+                       "printed on stderr)")
+    p_srv.add_argument("--workload", default="ANL",
+                       choices=sorted(PAPER_WORKLOADS),
+                       help="workload whose machine size and job history "
+                       "shape the service (nodes, predictor warm-up)")
+    p_srv.add_argument("--algorithm", default="backfill", choices=POLICY_NAMES,
+                       help="scheduling policy the predictions assume")
+    p_srv.add_argument("--predictor", default="max", choices=PREDICTOR_NAMES,
+                       help="run-time predictor supplying believed durations")
+    p_srv.add_argument("--n-jobs", type=int, default=300,
+                       help="jobs used to size/warm the predictor "
+                       "(0 = full paper size)")
+    p_srv.add_argument("--slow", action="store_true",
+                       help="disable the analytic shortcuts; every miss "
+                       "runs the reference forward simulation")
+
+    p_q = sub.add_parser(
+        "query",
+        help="client for `repro-sched serve`: stream replay events to the "
+        "server and/or ask it for predicted waits",
+    )
+    p_q.add_argument("--host", default="127.0.0.1")
+    p_q.add_argument("--port", type=int, default=7099)
+    p_q.add_argument("--replay", type=int, default=None, metavar="N",
+                     help="replay the workload's first N jobs locally, "
+                     "streaming each submit/start/finish to the server; "
+                     "stops at the last submission so a live queue remains")
+    p_q.add_argument("--workload", default="ANL",
+                     choices=sorted(PAPER_WORKLOADS),
+                     help="(--replay) workload to replay")
+    p_q.add_argument("--algorithm", default="backfill", choices=POLICY_NAMES,
+                     help="(--replay) policy driving the local replay — "
+                     "use the one the server was started with")
+    p_q.add_argument("--predictor", default="max", choices=PREDICTOR_NAMES,
+                     help="(--replay) estimator driving the local replay")
+    p_q.add_argument("--compress", type=float, default=1.0,
+                     help="(--replay) divide interarrival gaps by this "
+                     "factor — raises contention so a queue builds up")
+    p_q.add_argument("--drain", action="store_true",
+                     help="(--replay) run the replay to completion instead "
+                     "of stopping at the last submission")
+    p_q.add_argument("--job", type=int, nargs="+", default=None, metavar="ID",
+                     help="predict the wait of these job ids")
+    p_q.add_argument("--all-queued", action="store_true",
+                     help="predict the wait of every queued job")
+    p_q.add_argument("--state", action="store_true",
+                     help="print the server's mirrored state")
+    p_q.add_argument("--stats", action="store_true",
+                     help="print the server's metrics snapshot as JSON")
+    p_q.add_argument("--shutdown", action="store_true",
+                     help="stop the server after the other actions")
 
     p_ga = sub.add_parser("ga-search", help="genetic template search (§2.1)")
     p_ga.add_argument("--workload", default="ANL", choices=sorted(PAPER_WORKLOADS))
@@ -826,6 +889,111 @@ def run_report_from_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: bind the prediction service on TCP."""
+    from repro.core.registry import make_policy, make_predictor
+    from repro.predictors.base import PointEstimator
+    from repro.service import PredictionServer, PredictionService
+
+    wl = load_paper_workload(
+        args.workload, n_jobs=None if args.n_jobs <= 0 else args.n_jobs
+    )
+    policy = make_policy(args.algorithm)
+    estimator = PointEstimator(make_predictor(args.predictor, wl))
+    service = PredictionService(
+        policy, estimator, wl.total_nodes, fast=not args.slow
+    )
+    with PredictionServer((args.host, args.port), service) as server:
+        print(
+            f"serving on {args.host}:{server.port} "
+            f"({args.workload}, {wl.total_nodes} nodes, "
+            f"policy={policy.name}, predictor={args.predictor})",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def run_query(args: argparse.Namespace) -> int:
+    """The ``query`` subcommand: replay into / interrogate a server."""
+    import json
+
+    from repro.service import ServiceClient, UnknownJobError
+
+    actions = (args.replay is not None, args.job, args.all_queued,
+               args.state, args.stats, args.shutdown)
+    if not any(actions):
+        print("query: nothing to do (see --replay/--job/--all-queued/"
+              "--state/--stats/--shutdown)", file=sys.stderr)
+        return 2
+    try:
+        client = ServiceClient(args.host, args.port)
+    except OSError as exc:
+        print(f"query FAILED: cannot connect to {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    with client:
+        if args.replay is not None:
+            from repro.core.registry import make_policy, make_predictor
+            from repro.predictors.base import PointEstimator
+            from repro.scheduler.simulator import Simulator
+            from repro.service.server import ClientFeed
+
+            wl = load_paper_workload(
+                args.workload,
+                n_jobs=None if args.replay <= 0 else args.replay,
+            )
+            if args.compress != 1.0:
+                wl = compress_interarrival(wl, args.compress)
+            sim = Simulator(
+                make_policy(args.algorithm),
+                PointEstimator(make_predictor(args.predictor, wl)),
+                wl.total_nodes,
+            )
+            sim.add_observer(ClientFeed(client))
+            last_submit = max(job.submit_time for job in wl.jobs)
+            sim.run(wl, until_time=None if args.drain else last_submit)
+            state = client.state()
+            print(
+                f"replayed {len(wl.jobs)} jobs ({args.workload}) into "
+                f"{args.host}:{args.port}: server now at epoch "
+                f"{state['epoch']}, {len(state['queued'])} queued, "
+                f"{len(state['running'])} running",
+                file=sys.stderr,
+            )
+        if args.job:
+            for job_id in args.job:
+                try:
+                    wait = client.predict(job_id)
+                except UnknownJobError as exc:
+                    print(f"job {job_id}: unknown ({exc})")
+                    continue
+                print(f"job {job_id}: predicted wait {wait:.1f}s")
+        if args.all_queued:
+            waits = client.predict_batch()
+            if not waits:
+                print("no queued jobs")
+            for job_id in sorted(waits):
+                print(f"job {job_id}: predicted wait {waits[job_id]:.1f}s")
+        if args.state:
+            state = client.state()
+            print(json.dumps(
+                {k: v for k, v in state.items() if k != "ok"},
+                indent=2, sort_keys=True,
+            ))
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        if args.shutdown:
+            client.shutdown()
+            print("server shut down", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "summarize":
@@ -849,6 +1017,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return run_timeline(args)
     if args.command == "misprediction":
         return run_misprediction(args)
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "query":
+        return run_query(args)
     if args.command == "ga-search":
         from repro.predictors.ga import GAConfig, TemplateSearch
         from repro.predictors.replay import replay_prediction_error

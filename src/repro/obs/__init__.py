@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     BACKFILL_DEPTH_BUCKETS,
     CELL_DURATION_BUCKETS,
     PASS_DURATION_BUCKETS,
+    QUERY_LATENCY_BUCKETS,
     WAIT_TIME_BUCKETS,
     Counter,
     Gauge,
@@ -101,6 +102,7 @@ __all__ = [
     "PASS_DURATION_BUCKETS",
     "BACKFILL_DEPTH_BUCKETS",
     "CELL_DURATION_BUCKETS",
+    "QUERY_LATENCY_BUCKETS",
     "Tracer",
     "Span",
     "EventSink",

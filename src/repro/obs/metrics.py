@@ -38,6 +38,7 @@ __all__ = [
     "PASS_DURATION_BUCKETS",
     "BACKFILL_DEPTH_BUCKETS",
     "CELL_DURATION_BUCKETS",
+    "QUERY_LATENCY_BUCKETS",
 ]
 
 #: Job wait times in seconds: sub-minute through two days.
@@ -54,6 +55,15 @@ PASS_DURATION_BUCKETS: tuple[float, ...] = (
 
 #: Queue positions a backfilled job jumped over (0 = in-order start).
 BACKFILL_DEPTH_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: Prediction-service query latencies in seconds: ~1us through 100ms.
+#: Cached-epoch hits sit in the lowest buckets; the sub-millisecond p99
+#: target for single queries lands well inside the range, and anything
+#: past 100ms (a pathological forward-simulation fallback) overflows.
+QUERY_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4,
+    5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+)
 
 #: Campaign cell wall/CPU durations in seconds: ~50ms through one hour.
 #: Shared by every CampaignMonitor so campaign snapshots always merge

@@ -1,0 +1,29 @@
+"""Online wait-time prediction service (see ``docs/architecture.md``).
+
+:class:`PredictionService` mirrors scheduler state from a stream of
+submit/start/finish events and answers wait queries through the
+epoch-keyed caches and analytic shortcuts of :mod:`repro.waitpred`;
+:mod:`repro.service.server` puts a JSON-lines TCP protocol in front of
+it.  ``repro-sched serve`` / ``repro-sched query`` are the CLI entry
+points.
+"""
+
+from repro.service.server import (
+    ClientFeed,
+    PredictionServer,
+    ServiceClient,
+    job_from_wire,
+    job_to_wire,
+)
+from repro.service.service import PredictionService, SimulatorFeed, UnknownJobError
+
+__all__ = [
+    "PredictionService",
+    "SimulatorFeed",
+    "UnknownJobError",
+    "PredictionServer",
+    "ServiceClient",
+    "ClientFeed",
+    "job_to_wire",
+    "job_from_wire",
+]

@@ -16,8 +16,11 @@ the submission time is the predicted wait.
 from repro.waitpred.predictor import WaitTimePredictor, predict_wait
 from repro.waitpred.evaluation import WaitPredictionReport, evaluate_wait_predictions
 from repro.waitpred.fast import (
+    UnknownJobError,
     backfill_predicted_start,
+    backfill_predicted_starts,
     fcfs_predicted_start,
+    fcfs_predicted_starts,
     predict_start_fast,
 )
 from repro.waitpred.manyworlds import (
@@ -42,8 +45,11 @@ __all__ = [
     "predict_wait",
     "WaitPredictionReport",
     "evaluate_wait_predictions",
+    "UnknownJobError",
     "fcfs_predicted_start",
+    "fcfs_predicted_starts",
     "backfill_predicted_start",
+    "backfill_predicted_starts",
     "predict_start_fast",
     "StateBasedWaitPredictor",
     "StateFeatures",

@@ -36,12 +36,45 @@ from repro.scheduler.policies.base import Policy
 from repro.scheduler.simulator import SystemSnapshot, forward_simulate
 
 __all__ = [
+    "UnknownJobError",
     "fcfs_predicted_start",
+    "fcfs_predicted_starts",
     "backfill_predicted_start",
+    "backfill_predicted_starts",
     "predict_start_fast",
 ]
 
 _EPS = 1e-6
+
+
+class UnknownJobError(KeyError):
+    """A wait query named a job the snapshot's queue does not contain.
+
+    Raised instead of a bare :class:`KeyError` by the prediction query
+    path so callers (the prediction service in particular) can tell
+    "you asked about a job that already started, finished, or was never
+    submitted" apart from a programming error.  Subclasses
+    :class:`KeyError`, so pre-existing ``except KeyError`` handling
+    keeps working.
+    """
+
+    def __init__(self, job_id: int, reason: str = "not in snapshot queue") -> None:
+        super().__init__(job_id)
+        self.job_id = job_id
+        self.reason = reason
+
+    def __str__(self) -> str:
+        return f"job {self.job_id} {self.reason}"
+
+
+def _duration_of(durations: dict[int, float], job_id: int) -> float:
+    """``durations[job_id]`` with a typed error naming the missing job."""
+    try:
+        return durations[job_id]
+    except KeyError:
+        raise UnknownJobError(
+            job_id, "has no entry in the supplied durations"
+        ) from None
 
 
 def _seed_profile(
@@ -51,7 +84,8 @@ def _seed_profile(
     used = sum(rj.job.nodes for rj in snapshot.running)
     releases = [
         (
-            snapshot.now + max(durations[rj.job_id] - rj.elapsed(snapshot.now), _EPS),
+            snapshot.now
+            + max(_duration_of(durations, rj.job_id) - rj.elapsed(snapshot.now), _EPS),
             rj.job.nodes,
         )
         for rj in snapshot.running
@@ -68,12 +102,35 @@ def fcfs_predicted_start(
     profile = _seed_profile(snapshot, durations)
     prev_start = snapshot.now
     for qj in snapshot.queued:  # arrival order
-        duration = max(durations[qj.job_id], _EPS)
+        duration = max(_duration_of(durations, qj.job_id), _EPS)
         start = profile.reserve(qj.job.nodes, duration, not_before=prev_start)
         prev_start = start
         if qj.job_id == target_job_id:
             return start
-    raise KeyError(f"job {target_job_id} not in snapshot queue")
+    raise UnknownJobError(target_job_id)
+
+
+def fcfs_predicted_starts(
+    snapshot: SystemSnapshot, durations: dict[int, float]
+) -> dict[int, float]:
+    """Exact FCFS predicted starts of *every* queued job, in one walk.
+
+    The single-target walk already visits every job ahead of the target;
+    this variant keeps going to the end of the queue and returns
+    ``{job_id: start}`` for all of it — the batch form the prediction
+    service uses to answer a whole epoch's queries from one profile
+    pass.  Each entry is bit-identical to the single-target
+    :func:`fcfs_predicted_start`.
+    """
+    profile = _seed_profile(snapshot, durations)
+    prev_start = snapshot.now
+    out: dict[int, float] = {}
+    for qj in snapshot.queued:  # arrival order
+        duration = max(_duration_of(durations, qj.job_id), _EPS)
+        start = profile.reserve(qj.job.nodes, duration, not_before=prev_start)
+        prev_start = start
+        out[qj.job_id] = start
+    return out
 
 
 def backfill_predicted_start(
@@ -86,11 +143,28 @@ def backfill_predicted_start(
     """
     profile = _seed_profile(snapshot, durations)
     for qj in snapshot.queued:  # arrival order
-        duration = max(durations[qj.job_id], BackfillPolicy.min_duration)
+        duration = max(_duration_of(durations, qj.job_id), BackfillPolicy.min_duration)
         start = profile.reserve(qj.job.nodes, duration)
         if qj.job_id == target_job_id:
             return start
-    raise KeyError(f"job {target_job_id} not in snapshot queue")
+    raise UnknownJobError(target_job_id)
+
+
+def backfill_predicted_starts(
+    snapshot: SystemSnapshot, durations: dict[int, float]
+) -> dict[int, float]:
+    """Backfill predicted starts of every queued job, in one walk.
+
+    Batch form of :func:`backfill_predicted_start` (same exactness
+    caveat: the scheduler's estimates must equal ``durations``); each
+    entry is bit-identical to the single-target call.
+    """
+    profile = _seed_profile(snapshot, durations)
+    out: dict[int, float] = {}
+    for qj in snapshot.queued:  # arrival order
+        duration = max(_duration_of(durations, qj.job_id), BackfillPolicy.min_duration)
+        out[qj.job_id] = profile.reserve(qj.job.nodes, duration)
+    return out
 
 
 def predict_start_fast(

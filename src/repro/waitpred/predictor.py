@@ -32,6 +32,7 @@ from repro.scheduler.simulator import (
     SystemSnapshot,
     forward_simulate,
 )
+from repro.waitpred.fast import UnknownJobError
 from repro.workloads.job import Job
 
 __all__ = ["WaitTimePredictor", "predict_wait"]
@@ -66,7 +67,15 @@ def predict_wait(
     decides by.  ``fast`` routes through the analytic shortcuts of
     :mod:`repro.waitpred.fast` where they are exact (identical results,
     much cheaper for long FCFS queues).
+
+    Raises :class:`repro.waitpred.fast.UnknownJobError` when
+    ``target_job_id`` is not in the snapshot's queue — already running,
+    already finished, or never submitted.  Callers that want "job has
+    started, wait is over" semantics (the prediction service) translate
+    running jobs to a 0.0 wait before reaching this point.
     """
+    if all(qj.job_id != target_job_id for qj in snapshot.queued):
+        raise UnknownJobError(target_job_id)
     durations = _freeze(snapshot, estimator)
     estimates = (
         _freeze(snapshot, scheduler_estimator)

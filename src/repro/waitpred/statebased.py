@@ -94,15 +94,40 @@ class StateFeatures:
 
 
 def _log2_bin(value: float) -> int:
+    """Bin ``value`` by magnitude: 0 for < 1, else floor(log2) + 1.
+
+    Integer bit-length arithmetic instead of ``int(math.log2(value))``:
+    float log2 can land *exact* powers of two one bin off depending on
+    the platform's libm rounding (e.g. ``log2(2**29)`` evaluating to
+    28.999...), and a paper-reproduction category scheme must bin
+    identically everywhere.  ``int(value)`` is exact for every float,
+    and ``bit_length`` of the truncated integer is exactly
+    ``floor(log2(value)) + 1`` for ``value >= 1``.
+    """
     if value < 1:
         return 0
-    return int(math.log2(value)) + 1
+    return int(value).bit_length()
 
 
 def _log10_bin(value: float) -> int:
+    """Bin ``value`` by decade: 0 for < 1, else floor(log10) + 1.
+
+    ``int(math.log10(value))`` suffers the same platform-dependent
+    boundary instability as ``log2`` (``log10(1000)`` evaluating to
+    2.999... puts an exact power in the previous decade); the exponent
+    is corrected against exact powers of ten, which are exactly
+    representable as floats well past the 10**12 range the features use.
+    """
     if value < 1:
         return 0
-    return int(math.log10(value)) + 1
+    exponent = int(math.log10(value))
+    # Re-anchor on exact powers: libm error is far below one decade, so
+    # at most one step of correction in either direction is needed.
+    if 10.0 ** (exponent + 1) <= value:
+        exponent += 1
+    elif 10.0 ** exponent > value:
+        exponent -= 1
+    return exponent + 1
 
 
 @dataclass(frozen=True)
@@ -197,6 +222,12 @@ class StateBasedWaitPredictor:
         self._categories: dict[tuple[int, tuple], _WaitCategory] = {}
         self._pending: dict[int, tuple[float, StateFeatures]] = {}
         self._wait_moments = RunningMoments()
+        #: Per-job runtime estimates feeding the qwork/rt features, valid
+        #: while the estimator's history_epoch is unchanged (see
+        #: _features).  Keeps a burst of submissions at O(queue) instead
+        #: of O(queue^2) estimator calls.
+        self._estimate_cache: dict[int, float] = {}
+        self._estimate_cache_epoch: object = object()  # != any epoch: first use clears
         obs = instrumentation if instrumentation is not None else Instrumentation()
         self.obs = obs
         reg = obs.registry
@@ -208,15 +239,47 @@ class StateBasedWaitPredictor:
         self._g_categories = reg.gauge("statebased.categories")
 
     # ------------------------------------------------------------------
+    def _shared_estimate_cache(self) -> dict[int, float]:
+        """The per-job estimate memo valid for the estimator's current epoch.
+
+        Same contract as the simulator's estimate cache
+        (:mod:`repro.predictors.base`): an epoch-aware estimator promises
+        its predictions for a fixed ``(job, elapsed)`` are unchanged
+        while ``history_epoch`` is unchanged, so each queued job's
+        runtime estimate may be computed once per epoch instead of once
+        per submission — a burst of arrivals costs O(queue) estimator
+        calls, not O(queue^2).  Estimators without an epoch (or volatile
+        ones advertising ``None``) get a fresh dict per call: the
+        historical recompute-everything behaviour.
+        """
+        epoch = getattr(self.runtime_estimator, "history_epoch", None)
+        if epoch is None:
+            return {}
+        if epoch != self._estimate_cache_epoch:
+            self._estimate_cache_epoch = epoch
+            self._estimate_cache.clear()
+        return self._estimate_cache
+
     def _features(self, view, job: Job) -> StateFeatures:
         now = view.now
+        estimator = self.runtime_estimator
+        cache = self._shared_estimate_cache()
         queued_work = 0.0
         for qj in view.queued:
             if qj.job_id == job.job_id:
                 continue
-            queued_work += qj.job.nodes * self.runtime_estimator.predict(
-                qj.job, 0.0, now
-            )
+            est = cache.get(qj.job_id)
+            if est is None:
+                est = estimator.predict(qj.job, 0.0, now)
+                cache[qj.job_id] = est
+            # Multiply per use (cheap, deterministic) rather than caching
+            # the product, so the qwork sum is bit-identical to the
+            # uncached path.
+            queued_work += qj.job.nodes * est
+        job_estimate = cache.get(job.job_id)
+        if job_estimate is None:
+            job_estimate = estimator.predict(job, 0.0, now)
+            cache[job.job_id] = job_estimate
         return StateFeatures.extract(
             now=now,
             queued_count=max(len(view.queued) - 1, 0),  # exclude the new job
@@ -224,7 +287,7 @@ class StateBasedWaitPredictor:
             free_nodes=view.free_nodes,
             total_nodes=view.total_nodes,
             job_nodes=job.nodes,
-            job_runtime_estimate=self.runtime_estimator.predict(job, 0.0, now),
+            job_runtime_estimate=job_estimate,
         )
 
     def predict_from_features(self, features: StateFeatures) -> float | None:
@@ -305,6 +368,9 @@ class StateBasedWaitPredictor:
             cat.add(wait)
         self._c_observations.value += 1
         self._g_categories.set(len(self._categories))
+        # The job has left the queue; under an epoch-frozen estimator its
+        # memoized estimate would otherwise linger forever.
+        self._estimate_cache.pop(job.job_id, None)
 
     def on_finish(self, view, job: Job) -> None:
         # Keep the run-time estimator's history current for the rt feature.

@@ -17,8 +17,11 @@ from repro.scheduler.simulator import (
     forward_simulate,
 )
 from repro.waitpred.fast import (
+    UnknownJobError,
     backfill_predicted_start,
+    backfill_predicted_starts,
     fcfs_predicted_start,
+    fcfs_predicted_starts,
     predict_start_fast,
 )
 from repro.waitpred.predictor import WaitTimePredictor
@@ -102,6 +105,59 @@ def test_property_dispatcher_backfill_with_distinct_estimates(case):
         snap, BackfillPolicy(), durations, target, estimates=estimates
     )
     assert fast == pytest.approx(ref, rel=1e-9, abs=1e-4)
+
+
+@given(case=snapshots())
+@settings(max_examples=80, deadline=None)
+def test_property_batch_walks_bit_identical_to_singles(case):
+    """The one-walk batch variants equal the per-target calls exactly."""
+    snap, durations, _ = case
+    fcfs_batch = fcfs_predicted_starts(snap, durations)
+    bf_batch = backfill_predicted_starts(snap, durations)
+    assert set(fcfs_batch) == {qj.job_id for qj in snap.queued}
+    assert set(bf_batch) == {qj.job_id for qj in snap.queued}
+    for qj in snap.queued:
+        # Bit-identical, not approx: same profile ops in the same order.
+        assert fcfs_batch[qj.job_id] == fcfs_predicted_start(
+            snap, durations, qj.job_id
+        )
+        assert bf_batch[qj.job_id] == backfill_predicted_start(
+            snap, durations, qj.job_id
+        )
+
+
+class TestUnknownJobError:
+    def _snap(self):
+        queued = (QueuedJob(make_job(job_id=1, nodes=2, run_time=5.0)),)
+        return SystemSnapshot(now=0.0, running=(), queued=queued, total_nodes=4)
+
+    def test_target_not_in_queue(self):
+        snap = self._snap()
+        for fn in (fcfs_predicted_start, backfill_predicted_start):
+            with pytest.raises(UnknownJobError) as exc:
+                fn(snap, {1: 5.0}, 99)
+            assert exc.value.job_id == 99
+            assert "99" in str(exc.value)
+
+    def test_missing_duration_names_the_job(self):
+        snap = self._snap()
+        with pytest.raises(UnknownJobError) as exc:
+            fcfs_predicted_start(snap, {}, 1)
+        assert exc.value.job_id == 1
+        assert "durations" in str(exc.value)
+
+    def test_is_a_keyerror(self):
+        # Pre-existing `except KeyError` callers must keep working.
+        with pytest.raises(KeyError):
+            fcfs_predicted_start(self._snap(), {1: 5.0}, 99)
+
+    def test_predict_wait_rejects_unqueued_target(self):
+        from repro.waitpred.predictor import predict_wait
+
+        snap = self._snap()
+        estimator = PointEstimator(ActualRuntimePredictor())
+        with pytest.raises(UnknownJobError):
+            predict_wait(snap, FCFSPolicy(), estimator, 99)
 
 
 class TestShortcutEdgeCases:

@@ -13,6 +13,8 @@ from repro.waitpred.statebased import (
     StateBasedWaitPredictor,
     StateFeatures,
     StateTemplate,
+    _log2_bin,
+    _log10_bin,
 )
 from tests.conftest import make_job
 
@@ -68,6 +70,47 @@ class TestStateFeatures:
         f = StateFeatures(qlen=1, qwork=2, free=3, nodes=4, rt=5, tod=6, dow=0)
         assert f.key(("qlen", "rt")) == (1, 5)
         assert f.key(()) == ()
+
+
+class TestBinBoundaries:
+    """Exact powers must land in their own bin on every platform.
+
+    ``int(math.log2/log10(value))`` is one libm rounding away from
+    binning ``2**29`` or ``10**3`` into the previous magnitude; the
+    binning now uses exact integer arithmetic, so every boundary is
+    checked exhaustively across the feature ranges.
+    """
+
+    def test_log2_every_power_to_2_40(self):
+        for k in range(41):
+            v = float(2**k)
+            assert _log2_bin(v) == k + 1, f"2**{k}"
+            # Just below the boundary falls in the previous bin.
+            if k >= 1:
+                assert _log2_bin(v - 1.0) == k, f"2**{k} - 1"
+            # Just above stays in the same bin.
+            assert _log2_bin(v + 1.0) == k + 1 + (1 if k == 0 else 0)
+
+    def test_log10_every_power_to_10_12(self):
+        for k in range(13):
+            v = float(10**k)
+            assert _log10_bin(v) == k + 1, f"10**{k}"
+            if k >= 1:
+                assert _log10_bin(v - 1.0) == k, f"10**{k} - 1"
+                assert _log10_bin(v * 0.999999) == k, f"10**{k} * 0.999999"
+
+    def test_sub_unit_values_bin_zero(self):
+        for fn in (_log2_bin, _log10_bin):
+            assert fn(0.0) == 0
+            assert fn(0.5) == 0
+            assert fn(0.999999) == 0
+            assert fn(-3.0) == 0
+
+    def test_non_power_values(self):
+        assert _log2_bin(3.0) == 2
+        assert _log2_bin(5.0) == 3
+        assert _log10_bin(12_345.0) == 5
+        assert _log10_bin(999.0) == 3
 
 
 class TestStateTemplate:
@@ -184,3 +227,48 @@ class TestPredictor:
 
         p.on_start(ViewStub(), make_job(job_id=999))  # must not raise
         assert p.predicted_waits == {}
+
+
+class TestEstimateMemoization:
+    """The per-epoch estimate memo must change nothing but the call count."""
+
+    def _replay(self, trace, *, volatile: bool):
+        policy = LWFPolicy()
+        sim = Simulator(policy, estimator(), trace.total_nodes)
+        # volatile=True advertises history_epoch=None, which disables the
+        # memo while leaving every individual prediction identical.
+        obs_est = PointEstimator(ActualRuntimePredictor(), volatile=volatile)
+        obs = StateBasedWaitPredictor(obs_est)
+        sim.add_observer(obs)
+        sim.run(trace)
+        return obs.predicted_waits, obs_est.predict_calls
+
+    def test_features_identical_with_and_without_memo(self, anl_trace):
+        from repro.workloads.transform import head
+
+        trace = head(anl_trace, 200)
+        memo_waits, memo_calls = self._replay(trace, volatile=False)
+        plain_waits, plain_calls = self._replay(trace, volatile=True)
+        # Bit-identical predictions: the memo stores raw estimates and
+        # reuses them through the exact same float operations.
+        assert memo_waits == plain_waits
+        # And it actually memoizes: far fewer estimator invocations.
+        assert memo_calls < plain_calls
+
+    def test_started_jobs_evicted_from_memo(self):
+        p = StateBasedWaitPredictor(estimator())
+
+        class ViewStub:
+            def __init__(self, now, queued, free):
+                self.now = now
+                self.queued = queued
+                self.free_nodes = free
+                self.total_nodes = 10
+
+        from repro.scheduler.simulator import QueuedJob
+
+        first = make_job(job_id=1, run_time=60.0)
+        p.on_submit(ViewStub(0.0, [QueuedJob(first)], 10), QueuedJob(first))
+        assert 1 in p._estimate_cache
+        p.on_start(ViewStub(5.0, [], 10), first)
+        assert 1 not in p._estimate_cache
